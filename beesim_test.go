@@ -1,0 +1,112 @@
+package beesim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// The root package is a façade; these tests pin the public API surface
+// and its headline numbers so downstream users get a stable contract.
+
+func TestServiceFacade(t *testing.T) {
+	svc, err := NewService(CNN, DefaultPeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(svc.EdgeOnlyCycle)-367.5) > 0.2 {
+		t.Fatalf("edge-only cycle = %v", svc.EdgeOnlyCycle)
+	}
+	if math.Abs(float64(svc.EdgeCloudCycle)-322.0) > 0.2 {
+		t.Fatalf("edge+cloud cycle = %v", svc.EdgeCloudCycle)
+	}
+}
+
+func TestRecommendFacade(t *testing.T) {
+	svc, err := NewService(CNN, DefaultPeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recommend(5, DefaultServer(35), svc, Losses{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Placement != EdgeOnly {
+		t.Fatalf("5 hives recommended %v, want edge", rec.Placement)
+	}
+	rec, err = Recommend(1500, DefaultServer(35), svc, Losses{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Placement != EdgeCloud {
+		t.Fatalf("1500 hives recommended %v, want edge+cloud", rec.Placement)
+	}
+}
+
+func TestAllocateFacade(t *testing.T) {
+	svc, err := NewService(SVM, DefaultPeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := Allocate(100, DefaultServer(10), svc, PaperLosses(false, false, false), FillSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.NumServers() != 1 {
+		t.Fatalf("servers = %d", alloc.NumServers())
+	}
+}
+
+func TestAveragePowerFacade(t *testing.T) {
+	if p := AveragePower(5 * time.Minute); math.Abs(float64(p)-1.19) > 0.01 {
+		t.Fatalf("average power at 5 min = %v, want 1.19 W", p)
+	}
+}
+
+func TestTraceFacade(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.Days = 1
+	tr, err := RunTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Wakeups == 0 {
+		t.Fatal("no wakeups")
+	}
+}
+
+func TestQueenDetectionFacade(t *testing.T) {
+	cfg := DefaultAudioConfig()
+	cfg.Seconds = 1
+	corpus, err := SynthesizeCorpus(cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := TrainSVMDetector(corpus, AudioSampleRate, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Metrics.Accuracy < 0.85 {
+		t.Fatalf("SVM detector accuracy = %v", det.Metrics.Accuracy)
+	}
+}
+
+func TestExperimentEntryPoints(t *testing.T) {
+	if _, err := TableI(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TableII(); err != nil {
+		t.Fatal(err)
+	}
+	pts := Figure3()
+	if len(pts) != 6 {
+		t.Fatalf("figure 3 points = %d", len(pts))
+	}
+	st, err := RoutineStats(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Routines != 50 {
+		t.Fatal("routine stats lost count")
+	}
+}

@@ -1,0 +1,548 @@
+package beesim
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation, plus ablations for the design choices DESIGN.md
+// calls out. Each benchmark regenerates its artifact and reports the
+// headline quantity as custom metrics (b.ReportMetric), so
+// `go test -bench=. -benchmem` prints the reproduced numbers alongside
+// the usual timing columns. EXPERIMENTS.md records paper-vs-measured.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"beesim/internal/adaptive"
+	"beesim/internal/audio"
+	"beesim/internal/core"
+	"beesim/internal/dsp"
+	"beesim/internal/experiments"
+	"beesim/internal/hivenet"
+	"beesim/internal/optimizer"
+	"beesim/internal/power"
+	"beesim/internal/queendetect"
+	"beesim/internal/routine"
+	"beesim/internal/services"
+	"beesim/internal/solar"
+	"beesim/internal/surrogate"
+	"beesim/internal/swarm"
+	"beesim/internal/vision"
+)
+
+// BenchmarkTableI regenerates Table I (edge scenarios); metric: the CNN
+// scenario's total joules per 5-minute cycle (paper: 367.5 J).
+func BenchmarkTableI(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = float64(tables[1].Cycle.EdgeEnergy())
+	}
+	b.ReportMetric(total, "J/cycle")
+}
+
+// BenchmarkTableII regenerates Table II (edge+cloud); metrics: edge and
+// cloud totals (paper: 322.0 J and 13 806 J for the CNN).
+func BenchmarkTableII(b *testing.B) {
+	var edge, cloud float64
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		edge = float64(tables[1].Cycle.EdgeEnergy())
+		cloud = float64(tables[1].Cycle.CloudEnergy())
+	}
+	b.ReportMetric(edge, "edgeJ/cycle")
+	b.ReportMetric(cloud, "cloudJ/cycle")
+}
+
+// BenchmarkFigure2 runs a 2-day deployment trace (the full figure uses
+// 7 days); metric: completed routines per day (paper cadence: 10-minute
+// wake-ups during daylight).
+func BenchmarkFigure2(b *testing.B) {
+	var wakeups float64
+	for i := 0; i < b.N; i++ {
+		tr, err := experiments.Figure2Custom(2, 10*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wakeups = float64(tr.Wakeups) / 2
+	}
+	b.ReportMetric(wakeups, "routines/day")
+}
+
+// BenchmarkFigure3 regenerates the power-vs-period curve; metric: the
+// 5-minute point (paper: 1.19 W).
+func BenchmarkFigure3(b *testing.B) {
+	var at5 float64
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Figure3()
+		at5 = float64(pts[0].AvgPower)
+	}
+	b.ReportMetric(at5, "W@5min")
+}
+
+// BenchmarkRoutineStats replays the 319-routine campaign of Section IV;
+// metrics: mean duration (paper: 89 s) and sigma (paper: 3.5 s).
+func BenchmarkRoutineStats(b *testing.B) {
+	var mean, sd float64
+	for i := 0; i < b.N; i++ {
+		st, err := experiments.RoutineStats(319)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = st.MeanDuration.Seconds()
+		sd = st.SDDuration.Seconds()
+	}
+	b.ReportMetric(mean, "s/routine")
+	b.ReportMetric(sd, "sigma_s")
+}
+
+// BenchmarkFigure5 trains the CNN at a reduced set of input sizes on a
+// small corpus (the full figure uses eight sizes and a larger corpus);
+// metrics: accuracy at the largest size and the energy ratio between the
+// sizes (quadratic scaling doubles the side -> ~4x variable energy).
+func BenchmarkFigure5(b *testing.B) {
+	cfg := experiments.DefaultFigure5()
+	cfg.Sizes = []int{20, 40}
+	cfg.CorpusSize = 48
+	cfg.ClipSeconds = 1
+	cfg.Epochs = 6
+	var acc, ratio float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = pts[len(pts)-1].Accuracy
+		ratio = pts[1].FLOPs / pts[0].FLOPs
+	}
+	b.ReportMetric(acc, "accuracy")
+	b.ReportMetric(ratio, "flops_ratio_40_20")
+}
+
+// BenchmarkFigure6 sweeps 10-400 clients at capacity 10; metric: the
+// fully subscribed server's per-client cost (paper: converges to 116 J).
+func BenchmarkFigure6(b *testing.B) {
+	var floor float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		floor = float64(pts[180-10].EdgeCloud.PerClientServer())
+	}
+	b.ReportMetric(floor, "J/client@full")
+}
+
+// BenchmarkFigure7 sweeps 100-2000 clients at capacity 35; metrics: the
+// crossover milestones (paper: 406 / 12.5 J @ 630 / 803).
+func BenchmarkFigure7(b *testing.B) {
+	var m experiments.Figure7Milestones
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Figure7(35)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m = experiments.MilestonesOf(pts)
+	}
+	b.ReportMetric(float64(m.FirstCrossover), "crossover_clients")
+	b.ReportMetric(float64(m.PeakAdvantage), "peak_J")
+	b.ReportMetric(float64(m.PermanentFrom), "permanent_clients")
+}
+
+// BenchmarkFigure8 runs the four loss-variant sweeps; metric: the loss-A
+// full-server floor (paper: ~186 J/client).
+func BenchmarkFigure8(b *testing.B) {
+	var floorA float64
+	for i := 0; i < b.N; i++ {
+		for _, v := range []experiments.LossVariant{
+			experiments.LossA, experiments.LossB, experiments.LossC, experiments.LossAll,
+		} {
+			pts, err := experiments.Figure8(v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v == experiments.LossA {
+				floorA = float64(pts[180-10].EdgeCloud.PerClientServer())
+			}
+		}
+	}
+	b.ReportMetric(floorA, "lossA_J/client")
+}
+
+// BenchmarkFigure9 runs the all-losses cap-35 sweep; metric: the number
+// of fleet sizes where the edge+cloud scenario still wins (the paper's
+// green intervals).
+func BenchmarkFigure9(b *testing.B) {
+	var wins float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		wins = 0
+		for _, p := range pts {
+			if p.Diff() > 0 {
+				wins++
+			}
+		}
+	}
+	b.ReportMetric(wins, "green_points")
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §6)
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationFillPolicy contrasts the paper's sequential slot
+// filling with balanced filling under the saturation loss; metric: the
+// balanced policy's energy saving.
+func BenchmarkAblationFillPolicy(b *testing.B) {
+	svc, err := core.NewService(routine.CNN, 5*time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.DefaultServer(10)
+	l := core.PaperLosses(true, false, false)
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		seq, err := core.Allocate(90, spec, svc, l, core.FillSequential)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bal, err := core.Allocate(90, spec, svc, l, core.FillBalanced)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = float64(seq.TotalServerEnergy() - bal.TotalServerEnergy())
+	}
+	b.ReportMetric(saving, "J_saved")
+}
+
+// BenchmarkAblationSlotCapacity measures the viability tipping point
+// (paper: 26 clients per slot).
+func BenchmarkAblationSlotCapacity(b *testing.B) {
+	svc, err := core.NewService(routine.CNN, 5*time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tipping float64
+	for i := 0; i < b.N; i++ {
+		min, err := core.MinParallelForViability(svc, 44.6, 5*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tipping = float64(min)
+	}
+	b.ReportMetric(tipping, "clients/slot")
+}
+
+// BenchmarkAblationLosses compares the per-client cost of a full server
+// under each loss model (capacity 10, 180 clients).
+func BenchmarkAblationLosses(b *testing.B) {
+	svc, err := core.NewService(routine.CNN, 5*time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.DefaultServer(10)
+	var base, withA float64
+	for i := 0; i < b.N; i++ {
+		none, err := core.SimulateEdgeCloud(180, spec, svc, core.Losses{}, core.FillSequential, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lossA, err := core.SimulateEdgeCloud(180, spec, svc,
+			core.PaperLosses(true, false, false), core.FillSequential, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base = float64(none.PerClientServer())
+		withA = float64(lossA.PerClientServer())
+	}
+	b.ReportMetric(base, "J_no_loss")
+	b.ReportMetric(withA, "J_lossA")
+}
+
+// BenchmarkAblationCNNSize measures the FLOPs-vs-size frontier of the
+// reference network (quadratic in the input side).
+func BenchmarkAblationCNNSize(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		f := func(size int) float64 {
+			e, _ := power.DefaultEdgeInference().Cost(6000 * float64(size) * float64(size))
+			return float64(e)
+		}
+		ratio = f(200) / f(100)
+	}
+	b.ReportMetric(ratio, "energy_ratio_200_100")
+}
+
+// BenchmarkAblationModelChoice contrasts SVM and CNN edge cycles
+// (paper: only 1.2 J apart).
+func BenchmarkAblationModelChoice(b *testing.B) {
+	pi, cloud := power.DefaultPi3B(), power.DefaultCloud()
+	var diff float64
+	for i := 0; i < b.N; i++ {
+		svm, err := routine.Build(pi, cloud, routine.Spec{
+			Period: 5 * time.Minute, Model: routine.SVM, Placement: routine.EdgeOnly})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cnn, err := routine.Build(pi, cloud, routine.Spec{
+			Period: 5 * time.Minute, Model: routine.CNN, Placement: routine.EdgeOnly})
+		if err != nil {
+			b.Fatal(err)
+		}
+		diff = float64(cnn.EdgeEnergy() - svm.EdgeEnergy())
+	}
+	b.ReportMetric(diff, "J_cnn_minus_svm")
+}
+
+// ---------------------------------------------------------------------
+// Component micro-benchmarks (the substrate hot paths)
+// ---------------------------------------------------------------------
+
+// BenchmarkMelSpectrogram measures the paper's feature front end on one
+// second of audio.
+func BenchmarkMelSpectrogram(b *testing.B) {
+	synth, err := audio.NewSynth(audio.Config{SampleRate: 22050, Seconds: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clip := synth.Clip(0, 0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dsp.MelSpectrogram(clip, dsp.PaperSTFT(), 128, 22050); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSVMPredict measures one classical inference.
+func BenchmarkSVMPredict(b *testing.B) {
+	corpus, err := audio.Corpus(audio.Config{SampleRate: 22050, Seconds: 1, Seed: 1}, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := queendetect.TrainSVM(corpus, 22050, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clip := corpus[0].Samples
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.Predict(clip, 22050); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocator measures placing 2000 clients onto servers.
+func BenchmarkAllocator(b *testing.B) {
+	svc, err := core.NewService(routine.CNN, 5*time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.DefaultServer(35)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Allocate(2000, spec, svc, core.Losses{}, core.FillSequential); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Extension benchmarks (future-work subsystems)
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationSurrogate contrasts the exact simulator against the
+// fitted surrogate on the same placement query; metrics: the speedup and
+// the surrogate's held-out decision accuracy.
+func BenchmarkAblationSurrogate(b *testing.B) {
+	svc, err := core.NewService(routine.CNN, 5*time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := surrogate.DefaultConfig(svc)
+	cfg.Samples = 200
+	sur, err := surrogate.Fit(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := sur.Evaluate(cfg, 100, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	exactStart := time.Now()
+	const queries = 1000
+	for i := 0; i < queries; i++ {
+		if _, err := core.SimulateEdgeCloud(100+i, core.DefaultServer(35), svc,
+			core.Losses{}, core.FillSequential, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	exact := time.Since(exactStart)
+	fastStart := time.Now()
+	for i := 0; i < queries; i++ {
+		if _, err := sur.Predict(100+i, 35, false, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fast := time.Since(fastStart)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sur.Predict(500, 35, false, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(exact)/float64(fast), "speedup_x")
+	b.ReportMetric(ev.DecisionAccuracy, "decision_accuracy")
+}
+
+// BenchmarkServiceBundlePlanning measures the multi-service planner.
+func BenchmarkServiceBundlePlanning(b *testing.B) {
+	bundle := services.Bundle{
+		Kinds: []services.Kind{
+			services.QueenDetection, services.PollenDetection,
+			services.BeeCounting, services.SwarmPrediction,
+		},
+		Period: 30 * time.Minute,
+	}
+	var offloaded float64
+	for i := 0; i < b.N; i++ {
+		plan, err := services.PlanBundle(bundle, 2000, core.DefaultServer(35), core.Losses{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		offloaded = 0
+		for _, p := range plan.Decisions {
+			if p == routine.EdgeCloud {
+				offloaded++
+			}
+		}
+	}
+	b.ReportMetric(offloaded, "services_offloaded")
+}
+
+// BenchmarkAdaptivePolicies runs the week-long policy comparison;
+// metric: the forecast policy's data-yield gain over the fixed 10-minute
+// baseline.
+func BenchmarkAdaptivePolicies(b *testing.B) {
+	cfg := adaptive.DefaultConfig()
+	cfg.Days = 3
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.PolicyComparison(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = float64(results[3].Routines) / float64(results[0].Routines)
+	}
+	b.ReportMetric(gain, "yield_vs_fixed10m")
+}
+
+// BenchmarkBeeCounting measures the vision service on one entrance
+// image; metric: absolute counting error on a 10-bee scene.
+func BenchmarkBeeCounting(b *testing.B) {
+	scene, err := vision.Synthesize(vision.DefaultScene(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var got int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got = vision.CountBees(scene.Image)
+	}
+	err10 := math.Abs(float64(got - 10))
+	b.ReportMetric(err10, "count_error")
+}
+
+// BenchmarkPipingScore measures the swarm service's audio analysis.
+func BenchmarkPipingScore(b *testing.B) {
+	synth, err := audio.NewSynth(audio.Config{SampleRate: 22050, Seconds: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clip := synth.Clip(2, 0.6) // QueenPiping
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := swarm.PipingScore(clip, 22050); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetworkedCycle measures one full edge+cloud cycle over
+// loopback TCP (handshake excluded).
+func BenchmarkNetworkedCycle(b *testing.B) {
+	cfg := hivenet.DefaultServerConfig()
+	cfg.TrainCorpus = 20
+	server, err := hivenet.NewServer("127.0.0.1:0", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go server.Serve() //nolint:errcheck
+	defer server.Close()
+	agent, err := hivenet.Dial(server.Addr(), hivenet.DefaultAgentConfig("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer agent.Close()
+	now := time.Now().UTC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.RunCycle(0, 0.6, now); err != nil { // QueenPresent
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSeasonal runs the 12-month energy-balance study at one day
+// per month; metric: the June/December harvest ratio.
+func BenchmarkSeasonal(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Seasonal(solar.Cachan, 1, 10*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var june, december float64
+		for _, p := range pts {
+			switch p.Month {
+			case time.June:
+				june = float64(p.HarvestPerDay)
+			case time.December:
+				december = float64(p.HarvestPerDay)
+			}
+		}
+		ratio = june / december
+	}
+	b.ReportMetric(ratio, "june_vs_december_harvest")
+}
+
+// BenchmarkOptimizer searches the full orchestration grid for a
+// 2000-hive, two-service fleet; metric: the optimum's daily fleet energy
+// in megajoules.
+func BenchmarkOptimizer(b *testing.B) {
+	req := optimizer.Requirements{
+		Hives:        2000,
+		Services:     []services.Kind{services.QueenDetection, services.BeeCounting},
+		MaxStaleness: time.Hour,
+	}
+	var mj float64
+	for i := 0; i < b.N; i++ {
+		res, err := optimizer.Optimize(req, optimizer.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mj = float64(res.Best.PerDay) / 1e6
+	}
+	b.ReportMetric(mj, "MJ/day")
+}

@@ -1,0 +1,277 @@
+// Command apiarysim runs the large-scale client/server simulation of
+// Section VI, regenerating Figures 6-9: per-client energy of the edge
+// and edge+cloud scenarios, server counts, loss models, and the
+// crossover analysis.
+//
+// Usage:
+//
+//	apiarysim fig6 [-csv out.csv]
+//	apiarysim fig7 [-cap 35] [-csv out.csv]
+//	apiarysim fig8 [-loss a|b|c|all] [-csv out.csv]
+//	apiarysim fig9 [-csv out.csv]
+//	apiarysim sweep -from N -to M [-cap K] [-losses abc] [-chart]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"beesim/internal/core"
+	"beesim/internal/experiments"
+	"beesim/internal/report"
+	"beesim/internal/routine"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "fig6":
+		err = figure(os.Args[2:], "Figure 6 (10-400 clients, cap 10, no loss)", experiments.Figure6)
+	case "fig7":
+		err = fig7(os.Args[2:])
+	case "fig8":
+		err = fig8(os.Args[2:])
+	case "fig9":
+		err = figure(os.Args[2:], "Figure 9 (100-2000 clients, cap 35, losses A+B+C)", experiments.Figure9)
+	case "sweep":
+		err = sweep(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "apiarysim: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apiarysim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: apiarysim <fig6|fig7|fig8|fig9|sweep> [flags]`)
+}
+
+func figure(args []string, title string, run func() ([]experiments.SweepPoint, error)) error {
+	fs := flag.NewFlagSet("figure", flag.ExitOnError)
+	csvPath := fs.String("csv", "", "write the series to this CSV file")
+	svgPath := fs.String("svg", "", "write the figure to this SVG file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pts, err := run()
+	if err != nil {
+		return err
+	}
+	if err := render(title, pts, *csvPath); err != nil {
+		return err
+	}
+	return renderSVG(title, pts, *svgPath)
+}
+
+// renderSVG writes the per-client energy figure as an SVG image.
+func renderSVG(title string, pts []experiments.SweepPoint, path string) error {
+	if path == "" {
+		return nil
+	}
+	edge, cloud, _, err := experiments.SweepSeries(pts)
+	if err != nil {
+		return err
+	}
+	chart := report.NewSVGChart(title, "clients", "J/client/cycle")
+	chart.Add(edge)
+	chart.Add(cloud)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := chart.Render(f); err != nil {
+		return err
+	}
+	fmt.Printf("\nfigure written to %s\n", path)
+	return nil
+}
+
+func fig7(args []string) error {
+	fs := flag.NewFlagSet("fig7", flag.ExitOnError)
+	maxPar := fs.Int("cap", 35, "clients allowed in parallel per slot")
+	csvPath := fs.String("csv", "", "write the series to this CSV file")
+	svgPath := fs.String("svg", "", "write the figure to this SVG file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pts, err := experiments.Figure7(*maxPar)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Figure 7 (100-2000 clients, cap %d, no loss)", *maxPar)
+	if err := render(title, pts, *csvPath); err != nil {
+		return err
+	}
+	if err := renderSVG(title, pts, *svgPath); err != nil {
+		return err
+	}
+	m := experiments.MilestonesOf(pts)
+	fmt.Printf("\nmilestones:\n")
+	if m.FirstCrossover > 0 {
+		fmt.Printf("  first crossover:   %5d clients (paper, cap 35: 406)\n", m.FirstCrossover)
+		fmt.Printf("  peak advantage:    %5.1f J/client at %d clients (paper: 12.5 J at 630)\n",
+			float64(m.PeakAdvantage), m.PeakClients)
+		fmt.Printf("  permanent win from %5d clients (paper: 803)\n", m.PermanentFrom)
+	} else {
+		fmt.Printf("  the edge+cloud scenario never wins at this capacity\n")
+	}
+	return nil
+}
+
+func fig8(args []string) error {
+	fs := flag.NewFlagSet("fig8", flag.ExitOnError)
+	lossName := fs.String("loss", "all", "loss variant: a, b, c or all")
+	csvPath := fs.String("csv", "", "write the series to this CSV file")
+	svgPath := fs.String("svg", "", "write the figure to this SVG file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var v experiments.LossVariant
+	switch *lossName {
+	case "a":
+		v = experiments.LossA
+	case "b":
+		v = experiments.LossB
+	case "c":
+		v = experiments.LossC
+	case "all":
+		v = experiments.LossAll
+	default:
+		return fmt.Errorf("unknown loss variant %q", *lossName)
+	}
+	pts, err := experiments.Figure8(v)
+	if err != nil {
+		return err
+	}
+	if err := render("Figure 8: "+v.String(), pts, *csvPath); err != nil {
+		return err
+	}
+	return renderSVG("Figure 8: "+v.String(), pts, *svgPath)
+}
+
+func sweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	from := fs.Int("from", 10, "smallest fleet size")
+	to := fs.Int("to", 400, "largest fleet size")
+	step := fs.Int("step", 1, "fleet size step")
+	maxPar := fs.Int("cap", 10, "clients allowed in parallel per slot")
+	model := fs.String("model", "cnn", "service model: svm or cnn")
+	losses := fs.String("losses", "", "loss models to enable, e.g. \"abc\"")
+	balanced := fs.Bool("balanced", false, "use the balanced fill policy")
+	csvPath := fs.String("csv", "", "write the series to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m := routine.CNN
+	if *model == "svm" {
+		m = routine.SVM
+	}
+	svc, err := core.NewService(m, 5*time.Minute)
+	if err != nil {
+		return err
+	}
+	policy := core.FillSequential
+	if *balanced {
+		policy = core.FillBalanced
+	}
+	l := core.Losses{}
+	for _, c := range *losses {
+		switch c {
+		case 'a':
+			l.SlotSaturation = true
+			l.SaturationMargin = 5
+			l.SaturationFactor = 0.10
+		case 'b':
+			l.TransferPenalty = 1500 * time.Millisecond
+		case 'c':
+			l.ClientLossFrac = 0.10
+			l.ClientLossSD = 2
+		default:
+			return fmt.Errorf("unknown loss %q", string(c))
+		}
+	}
+	pts, err := experiments.Sweep(experiments.SweepConfig{
+		Service: svc,
+		Server:  core.DefaultServer(*maxPar),
+		Losses:  l,
+		From:    *from, To: *to, Step: *step,
+		Policy: policy,
+		Seed:   7,
+	})
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("sweep %d-%d clients, cap %d, %s, losses %q",
+		*from, *to, *maxPar, svc.Name, *losses)
+	return render(title, pts, *csvPath)
+}
+
+func render(title string, pts []experiments.SweepPoint, csvPath string) error {
+	edge, cloud, servers, err := experiments.SweepSeries(pts)
+	if err != nil {
+		return err
+	}
+	chart := report.NewChart(title, "clients", "J/client/cycle")
+	chart.Add(edge)
+	chart.Add(cloud)
+	if err := chart.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Milestone rows at the sweep's quartiles.
+	t := report.NewTable("", "Clients", "Edge J/client", "Edge+cloud J/client", "Servers", "Winner")
+	for _, i := range []int{0, len(pts) / 4, len(pts) / 2, 3 * len(pts) / 4, len(pts) - 1} {
+		p := pts[i]
+		winner := "edge"
+		if p.Diff() > 0 {
+			winner = "edge+cloud"
+		}
+		t.MustAddRow(
+			fmt.Sprintf("%d", p.Clients),
+			fmt.Sprintf("%.1f", float64(p.EdgeOnly.PerClient())),
+			fmt.Sprintf("%.1f", float64(p.EdgeCloud.PerClient())),
+			fmt.Sprintf("%d", p.EdgeCloud.Servers),
+			winner)
+	}
+	fmt.Println()
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if xs, err := experiments.CrossoverClients(pts); err == nil && len(xs) > 0 {
+		fmt.Printf("\ncrossovers at: ")
+		for i, x := range xs {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%.0f", x)
+		}
+		fmt.Println(" clients")
+	}
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteSeriesCSV(f, "clients", edge, cloud, servers); err != nil {
+			return err
+		}
+		fmt.Printf("\nseries written to %s\n", csvPath)
+	}
+	return nil
+}

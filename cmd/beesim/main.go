@@ -1,0 +1,333 @@
+// Command beesim is the umbrella CLI: it regenerates the paper's tables
+// and small figures directly in the terminal.
+//
+// Usage:
+//
+//	beesim tables              # Tables I and II
+//	beesim fig3                # Figure 3: average power vs wake-up period
+//	beesim campaign [-n 319]   # Section IV routine statistics
+//	beesim recommend -clients N [-cap 35] [-losses abc]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"beesim/internal/adaptive"
+	"beesim/internal/core"
+	"beesim/internal/experiments"
+	"beesim/internal/optimizer"
+	"beesim/internal/report"
+	"beesim/internal/routine"
+	"beesim/internal/services"
+	"beesim/internal/solar"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "tables":
+		err = tables()
+	case "fig3":
+		err = fig3()
+	case "campaign":
+		err = campaign(os.Args[2:])
+	case "recommend":
+		err = recommend(os.Args[2:])
+	case "seasons":
+		err = seasons(os.Args[2:])
+	case "apiary":
+		err = apiary(os.Args[2:])
+	case "policies":
+		err = policies(os.Args[2:])
+	case "optimize":
+		err = optimize(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "beesim: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beesim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: beesim <command> [flags]
+
+commands:
+  tables      print Tables I and II (per-task energy of both scenarios)
+  fig3        print Figure 3 (average power vs wake-up period)
+  campaign    replay the Section-IV measurement campaign
+  recommend   pick a placement for a fleet size
+  seasons     year-round energy balance of one deployed hive
+  apiary      the paper's five-hive deployment (2 Cachan + 3 Lyon)
+  policies    fixed vs adaptive orchestration policies
+  optimize    search wake period x capacity x placement for a fleet
+
+see also: hivetrace (Figure 2), apiarysim (Figures 6-9), queendetect (Figure 5),
+          hivenet (networked cloud service + edge agents)`)
+}
+
+func tables() error {
+	one, err := experiments.TableI()
+	if err != nil {
+		return err
+	}
+	two, err := experiments.TableII()
+	if err != nil {
+		return err
+	}
+	fmt.Println("TABLE I: edge scenarios")
+	fmt.Println()
+	for _, s := range one {
+		if err := experiments.RenderScenario(s).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	fmt.Println("TABLE II: edge+cloud scenarios")
+	fmt.Println()
+	for _, s := range two {
+		if err := experiments.RenderScenario(s).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func fig3() error {
+	pts := experiments.Figure3()
+	t := report.NewTable("Figure 3: average consumed power vs wake-up period",
+		"Period (min)", "Average power (W)")
+	for _, p := range pts {
+		t.MustAddRow(fmt.Sprintf("%.0f", p.Period.Minutes()),
+			fmt.Sprintf("%.3f", float64(p.AvgPower)))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	chart := report.NewChart("", "wake-up period (min)", "average power (W)")
+	chart.Add(experiments.Figure3Series())
+	return chart.Render(os.Stdout)
+}
+
+func campaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	n := fs.Int("n", 319, "number of routines to replay")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := experiments.RoutineStats(*n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Section IV measurement campaign (%d routines)\n\n", st.Routines)
+	fmt.Printf("  mean routine duration: %6.1f s   (paper: 89 s)\n", st.MeanDuration.Seconds())
+	fmt.Printf("  duration sigma:        %6.1f s   (paper: 3.5 s)\n", st.SDDuration.Seconds())
+	fmt.Printf("  mean routine power:    %6.3f W   (paper: 2.14 W)\n", float64(st.MeanPower))
+	fmt.Printf("  power sigma:           %6.3f W   (paper: 0.009 W)\n", float64(st.SDPower))
+	fmt.Printf("  mean routine energy:   %6.1f J   (paper: 190.1 J)\n", float64(st.MeanEnergy))
+	return nil
+}
+
+func recommend(args []string) error {
+	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
+	clients := fs.Int("clients", 0, "fleet size (required)")
+	maxPar := fs.Int("cap", 35, "clients allowed in parallel per time slot")
+	model := fs.String("model", "cnn", "queen-detection model: svm or cnn")
+	losses := fs.String("losses", "", "loss models to enable, e.g. \"abc\" or \"ab\"")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *clients <= 0 {
+		return fmt.Errorf("-clients must be positive")
+	}
+	m := routine.CNN
+	if strings.EqualFold(*model, "svm") {
+		m = routine.SVM
+	}
+	svc, err := core.NewService(m, 5*time.Minute)
+	if err != nil {
+		return err
+	}
+	l := core.PaperLosses(
+		strings.ContainsRune(*losses, 'a'),
+		strings.ContainsRune(*losses, 'b'),
+		strings.ContainsRune(*losses, 'c'))
+	rec, err := core.Recommend(*clients, core.DefaultServer(*maxPar), svc, l)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet: %d smart beehives, slot capacity %d, service %s\n\n",
+		*clients, *maxPar, svc.Name)
+	fmt.Printf("  edge scenario:       %7.1f J/client/cycle\n", float64(rec.EdgeOnlyPerClient))
+	fmt.Printf("  edge+cloud scenario: %7.1f J/client/cycle  (%d server(s))\n",
+		float64(rec.EdgeCloudPerClient), rec.Servers)
+	fmt.Printf("\n  recommendation: %v (saves %.1f J/client/cycle)\n",
+		rec.Placement, float64(rec.Margin()))
+	return nil
+}
+
+func seasons(args []string) error {
+	fs := flag.NewFlagSet("seasons", flag.ExitOnError)
+	days := fs.Int("days", 3, "days simulated per month")
+	wake := fs.Duration("wake", 10*time.Minute, "wake-up period")
+	site := fs.String("site", "cachan", "deployment site: cachan or lyon")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	loc := solar.Cachan
+	if *site == "lyon" {
+		loc = solar.Lyon
+	}
+	pts, err := experiments.Seasonal(loc, *days, *wake)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("year-round energy balance (%s, %v wake-ups, %d day(s)/month)", loc.Name, *wake, *days),
+		"Month", "Routines/day", "Missed/day", "Harvest/day", "Consumption/day")
+	for _, p := range pts {
+		t.MustAddRow(
+			p.Month.String(),
+			fmt.Sprintf("%.0f", p.RoutinesPerDay),
+			fmt.Sprintf("%.0f", p.MissedPerDay),
+			p.HarvestPerDay.String(),
+			p.ConsumptionPerDay.String())
+	}
+	return t.Render(os.Stdout)
+}
+
+func apiary(args []string) error {
+	fs := flag.NewFlagSet("apiary", flag.ExitOnError)
+	days := fs.Int("days", 7, "days to simulate")
+	wake := fs.Duration("wake", 10*time.Minute, "wake-up period")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	results, err := experiments.Apiary(*days, *wake)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("the paper's five-hive deployment over %d day(s)", *days),
+		"Hive", "Site", "Routines", "Missed", "Outages", "Recorder energy", "Harvest")
+	for _, r := range results {
+		t.MustAddRow(
+			r.Hive.Name,
+			r.Hive.Location.Name,
+			fmt.Sprintf("%d", r.Trace.Wakeups),
+			fmt.Sprintf("%d", r.Trace.MissedWakeups),
+			fmt.Sprintf("%d", r.Trace.Outages),
+			r.Trace.RecorderEnergy.String(),
+			r.Trace.HarvestedEnergy.String())
+	}
+	return t.Render(os.Stdout)
+}
+
+func policies(args []string) error {
+	fs := flag.NewFlagSet("policies", flag.ExitOnError)
+	days := fs.Int("days", 7, "days to simulate")
+	month := fs.Int("month", 4, "starting month (1-12)")
+	soc := fs.Float64("soc", 0.5, "initial battery state of charge")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *month < 1 || *month > 12 {
+		return fmt.Errorf("month %d out of 1-12", *month)
+	}
+	cfg := adaptive.DefaultConfig()
+	cfg.Days = *days
+	cfg.InitialSoC = *soc
+	cfg.Start = time.Date(2023, time.Month(*month), 10, 0, 0, 0, 0, time.UTC)
+	results, err := experiments.PolicyComparison(cfg)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("orchestration policies over %d day(s) from %s", *days, cfg.Start.Format("Jan 2006")),
+		"Policy", "Routines", "Missed", "Cloud cycles", "Energy", "Min SoC")
+	for _, r := range results {
+		t.MustAddRow(
+			r.Policy,
+			fmt.Sprintf("%d", r.Routines),
+			fmt.Sprintf("%d", r.MissedRoutines),
+			fmt.Sprintf("%d", r.CloudCycles),
+			r.EdgeEnergy.String(),
+			fmt.Sprintf("%.0f%%", 100*r.MinSoC))
+	}
+	return t.Render(os.Stdout)
+}
+
+func optimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	hives := fs.Int("hives", 0, "fleet size (required)")
+	staleness := fs.Duration("staleness", time.Hour, "maximum data age the beekeeper accepts")
+	bundle := fs.String("services", "queen", "comma-separated services: queen,pollen,count,swarm")
+	losses := fs.String("losses", "", "loss models to enable, e.g. \"ab\"")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *hives <= 0 {
+		return fmt.Errorf("-hives must be positive")
+	}
+	var kinds []services.Kind
+	for _, tok := range strings.Split(*bundle, ",") {
+		switch strings.TrimSpace(tok) {
+		case "queen":
+			kinds = append(kinds, services.QueenDetection)
+		case "pollen":
+			kinds = append(kinds, services.PollenDetection)
+		case "count":
+			kinds = append(kinds, services.BeeCounting)
+		case "swarm":
+			kinds = append(kinds, services.SwarmPrediction)
+		case "":
+		default:
+			return fmt.Errorf("unknown service %q", tok)
+		}
+	}
+	req := optimizer.Requirements{
+		Hives:        *hives,
+		Services:     kinds,
+		MaxStaleness: *staleness,
+		Losses: core.PaperLosses(
+			strings.ContainsRune(*losses, 'a'),
+			strings.ContainsRune(*losses, 'b'),
+			strings.ContainsRune(*losses, 'c')),
+	}
+	res, err := optimizer.Optimize(req, optimizer.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("searched %d configurations (%d infeasible) for %d hives\n\n",
+		res.Evaluated, res.Infeasible, *hives)
+	fmt.Printf("optimum: wake every %v, slot capacity %d, %d server(s)\n",
+		res.Best.Period, res.Best.MaxParallel, res.Best.Servers)
+	fmt.Printf("  %.1f J/hive/cycle, %s fleet-wide per day\n", float64(res.Best.PerHive), res.Best.PerDay)
+	for k, p := range res.Best.Plan.Decisions {
+		fmt.Printf("  %-18v -> %v\n", k, p)
+	}
+	fmt.Println("\nenergy/freshness frontier:")
+	t := report.NewTable("", "Wake period", "J/hive/cycle", "Fleet J/day", "Servers")
+	for _, c := range res.Frontier {
+		t.MustAddRow(c.Period.String(),
+			fmt.Sprintf("%.1f", float64(c.PerHive)),
+			c.PerDay.String(),
+			fmt.Sprintf("%d", c.Servers))
+	}
+	return t.Render(os.Stdout)
+}

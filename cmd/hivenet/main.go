@@ -1,0 +1,141 @@
+// Command hivenet runs the networked realization of the paper's
+// architecture: a cloud queen-detection service and smart-beehive edge
+// agents speaking the beesim wire protocol over TCP.
+//
+// Usage:
+//
+//	hivenet serve [-addr :7700] [-cap 10] [-slots 18]
+//	hivenet agent -addr host:7700 [-hive cachan-1] [-cycles 3]
+//	              [-placement edge|cloud] [-state present|lost|piping]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"beesim/internal/hive"
+	"beesim/internal/hivenet"
+	"beesim/internal/routine"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serve(os.Args[2:])
+	case "agent":
+		err = agent(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "hivenet: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hivenet:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: hivenet <serve|agent> [flags]`)
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7700", "listen address")
+	httpAddr := fs.String("http", "", "dashboard listen address (e.g. 127.0.0.1:7780); empty disables")
+	maxPar := fs.Int("cap", 10, "clients allowed in parallel per time slot")
+	slots := fs.Int("slots", 18, "time slots per cycle")
+	corpus := fs.Int("corpus", 80, "training corpus size")
+	archive := fs.String("archive", "", "persist reports and verdicts to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := hivenet.DefaultServerConfig()
+	cfg.MaxParallel = *maxPar
+	cfg.Slots = *slots
+	cfg.TrainCorpus = *corpus
+	cfg.ArchivePath = *archive
+	cfg.Logf = log.Printf
+	s, err := hivenet.NewServer(*addr, cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("cloud service on %s (detector accuracy %.1f%%, %d slots x %d clients)",
+		s.Addr(), 100*s.DetectorAccuracy(), *slots, *maxPar)
+	if *httpAddr != "" {
+		go func() {
+			log.Printf("dashboard on http://%s/", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, hivenet.NewDashboard(s)); err != nil {
+				log.Printf("dashboard: %v", err)
+			}
+		}()
+	}
+	return s.Serve()
+}
+
+func agent(args []string) error {
+	fs := flag.NewFlagSet("agent", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7700", "server address")
+	hiveID := fs.String("hive", "cachan-1", "hive identifier")
+	cycles := fs.Int("cycles", 3, "cycles to run")
+	placement := fs.String("placement", "cloud", "edge or cloud")
+	state := fs.String("state", "present", "colony truth: present, lost or piping")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := hivenet.DefaultAgentConfig(*hiveID)
+	cfg.Seed = *seed
+	switch *placement {
+	case "edge":
+		cfg.Placement = routine.EdgeOnly
+	case "cloud":
+		cfg.Placement = routine.EdgeCloud
+	default:
+		return fmt.Errorf("unknown placement %q", *placement)
+	}
+	var q hive.QueenState
+	switch *state {
+	case "present":
+		q = hive.QueenPresent
+	case "lost":
+		q = hive.QueenLost
+	case "piping":
+		q = hive.QueenPiping
+	default:
+		return fmt.Errorf("unknown state %q", *state)
+	}
+
+	a, err := hivenet.Dial(*addr, cfg)
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+	fmt.Printf("hive %s connected, time slot %d\n", *hiveID, a.Slot())
+	for i := 0; i < *cycles; i++ {
+		res, err := a.RunCycle(q, 0.7, time.Now().UTC())
+		if err != nil {
+			return err
+		}
+		verdict := "queen present"
+		if !res.QueenPresent {
+			verdict = "QUEENLESS"
+		}
+		fmt.Printf("cycle %d: %s (computed at %s, confidence %.2f)\n",
+			i+1, verdict, res.ComputedAt, res.Confidence)
+	}
+	fmt.Printf("edge energy spent (active tasks): %v over %d cycles\n",
+		a.EdgeEnergy(), a.Cycles())
+	return nil
+}

@@ -1,0 +1,99 @@
+// Command hivetrace runs the deployed-hive simulation of Figure 2: a
+// multi-day discrete-event trace of one smart beehive (solar panel,
+// battery, weather, colony, duty-cycled recorder), printed as a summary
+// and optionally exported as CSV for plotting.
+//
+// Usage:
+//
+//	hivetrace [-days 7] [-wake 10m] [-site cachan|lyon] [-csv out.csv]
+//	          [-empty] [-no-brownout]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"beesim/internal/deployment"
+	"beesim/internal/solar"
+	"beesim/internal/timeseries"
+)
+
+func main() {
+	days := flag.Int("days", 7, "days to simulate")
+	wake := flag.Duration("wake", 10*time.Minute, "recorder wake-up period")
+	site := flag.String("site", "cachan", "deployment site: cachan or lyon")
+	csvPath := flag.String("csv", "", "write the trace series to this CSV file")
+	empty := flag.Bool("empty", false, "simulate an empty hive (no colony yet)")
+	noBrownout := flag.Bool("no-brownout", false, "disable the night bus brownout")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := deployment.DefaultConfig()
+	cfg.Days = *days
+	cfg.WakePeriod = *wake
+	cfg.Seed = *seed
+	cfg.NightBrownout = !*noBrownout
+	switch *site {
+	case "cachan":
+		cfg.Location = solar.Cachan
+	case "lyon":
+		cfg.Location = solar.Lyon
+	default:
+		fmt.Fprintf(os.Stderr, "hivetrace: unknown site %q\n", *site)
+		os.Exit(2)
+	}
+	if *empty {
+		cfg.Colony.Population = 0
+	}
+
+	tr, err := deployment.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hivetrace:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("hive trace: %s, %d day(s), wake every %v\n\n", cfg.Location.Name, cfg.Days, cfg.WakePeriod)
+	fmt.Printf("  completed routines:   %6d\n", tr.Wakeups)
+	fmt.Printf("  missed wake-ups:      %6d (system down)\n", tr.MissedWakeups)
+	fmt.Printf("  outages:              %6d\n", tr.Outages)
+	fmt.Printf("  recorder energy:      %v\n", tr.RecorderEnergy)
+	fmt.Printf("  monitor energy:       %v\n", tr.MonitorEnergy)
+	fmt.Printf("  harvested energy:     %v\n", tr.HarvestedEnergy)
+
+	if gaps := tr.RecorderPower.Gaps(2 * time.Hour); len(gaps) > 0 {
+		fmt.Printf("\n  night gaps (recorder down > 2 h):\n")
+		for _, g := range gaps {
+			fmt.Printf("    %s -> %s (%v)\n",
+				g.Start.Format("Jan 02 15:04"), g.End.Format("Jan 02 15:04"),
+				g.End.Sub(g.Start).Round(time.Minute))
+		}
+	}
+
+	if st, en := tr.InsideTemp.Span(); !st.IsZero() {
+		var sum float64
+		for _, p := range tr.InsideTemp.Points() {
+			sum += p.V
+		}
+		fmt.Printf("\n  inside temperature: mean %.1f C over %s..%s\n",
+			sum/float64(tr.InsideTemp.Len()),
+			st.Format("Jan 02"), en.Format("Jan 02"))
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hivetrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		err = timeseries.WriteCSV(f, tr.RecorderPower, tr.PanelPower, tr.BatterySoC,
+			tr.InsideTemp, tr.InsideHumidity, tr.OutsideTemp, tr.OutsideHumidity)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hivetrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n  trace written to %s\n", *csvPath)
+	}
+}

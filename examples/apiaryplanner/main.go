@@ -1,0 +1,100 @@
+// Apiaryplanner: capacity-plan a cooperative of beekeepers pooling their
+// smart beehives behind shared cloud servers.
+//
+// Given a target fleet size, the planner sweeps slot capacities and loss
+// assumptions, reports how many servers each configuration needs, which
+// placement wins, and how sensitive the decision is to the paper's three
+// loss models.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"beesim"
+	"beesim/internal/report"
+)
+
+func main() {
+	const fleet = 800 // smart beehives across the cooperative
+
+	svc, err := beesim.NewService(beesim.CNN, beesim.DefaultPeriod)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("planning for %d smart beehives running %s\n\n", fleet, svc.Name)
+
+	// 1. How does the slot capacity of the shared servers change the
+	//    picture? (The paper's tipping point is 26 clients per slot.)
+	capTable := report.NewTable("placement by server slot capacity (no losses)",
+		"Slot capacity", "Edge J/hive", "Edge+cloud J/hive", "Servers", "Recommended")
+	for _, maxPar := range []int{10, 20, 26, 35, 50} {
+		rec, err := beesim.Recommend(fleet, beesim.DefaultServer(maxPar), svc, beesim.Losses{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		capTable.MustAddRow(
+			fmt.Sprintf("%d", maxPar),
+			fmt.Sprintf("%.1f", float64(rec.EdgeOnlyPerClient)),
+			fmt.Sprintf("%.1f", float64(rec.EdgeCloudPerClient)),
+			fmt.Sprintf("%d", rec.Servers),
+			rec.Placement.String())
+	}
+	if err := capTable.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Stress the winning configuration with the paper's loss models.
+	fmt.Println()
+	lossTable := report.NewTable("sensitivity to losses (slot capacity 35)",
+		"Losses", "Edge J/hive", "Edge+cloud J/hive", "Recommended", "Margin (J)")
+	cases := []struct {
+		name    string
+		a, b, c bool
+	}{
+		{"none", false, false, false},
+		{"A: slot saturation", true, false, false},
+		{"B: transfer penalty", false, true, false},
+		{"C: client loss", false, false, true},
+		{"A+B+C", true, true, true},
+	}
+	for _, tc := range cases {
+		rec, err := beesim.Recommend(fleet, beesim.DefaultServer(35), svc,
+			beesim.PaperLosses(tc.a, tc.b, tc.c))
+		if err != nil {
+			log.Fatal(err)
+		}
+		lossTable.MustAddRow(
+			tc.name,
+			fmt.Sprintf("%.1f", float64(rec.EdgeOnlyPerClient)),
+			fmt.Sprintf("%.1f", float64(rec.EdgeCloudPerClient)),
+			rec.Placement.String(),
+			fmt.Sprintf("%.1f", float64(rec.Margin())))
+	}
+	if err := lossTable.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Show the chosen allocation: servers, slots, fill levels.
+	alloc, err := beesim.Allocate(fleet, beesim.DefaultServer(35), svc,
+		beesim.Losses{}, beesim.FillSequential)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nallocation at capacity 35: %d server(s)\n", alloc.NumServers())
+	for i, srv := range alloc.Servers {
+		full, used := 0, 0
+		for _, n := range srv.Slots {
+			if n > 0 {
+				used++
+			}
+			if n == 35 {
+				full++
+			}
+		}
+		fmt.Printf("  server %d: %d hives in %d/%d slots (%d full)\n",
+			i+1, srv.Clients(), used, len(srv.Slots), full)
+	}
+}

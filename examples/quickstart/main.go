@@ -1,0 +1,44 @@
+// Quickstart: build the two service-placement scenarios of the paper for
+// a single smart beehive, print their per-cycle energy, and ask the
+// library where a fleet should run its queen-detection service.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"beesim"
+)
+
+func main() {
+	// A queen-detection service profile (CNN variant) over the paper's
+	// 5-minute wake-up cycle, calibrated from the deployed hardware.
+	svc, err := beesim.NewService(beesim.CNN, beesim.DefaultPeriod)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("service: %s\n", svc.Name)
+	fmt.Printf("  edge scenario:        %.1f J per cycle at the hive\n", float64(svc.EdgeOnlyCycle))
+	fmt.Printf("  edge+cloud scenario:  %.1f J per cycle at the hive (+ cloud)\n\n", float64(svc.EdgeCloudCycle))
+
+	// Where should the service run for different apiary sizes?
+	server := beesim.DefaultServer(35) // 35 hives may upload in parallel
+	for _, hives := range []int{5, 100, 500, 1000} {
+		rec, err := beesim.Recommend(hives, server, svc, beesim.Losses{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d hives -> run the model %-10v (edge %.1f vs edge+cloud %.1f J/hive/cycle, %d server(s))\n",
+			hives, rec.Placement,
+			float64(rec.EdgeOnlyPerClient), float64(rec.EdgeCloudPerClient), rec.Servers)
+	}
+
+	// The average power of one hive at different wake-up periods (Fig 3).
+	fmt.Println("\naverage hive power by wake-up period:")
+	for _, minutes := range []int{5, 10, 30, 120} {
+		p := beesim.AveragePower(time.Duration(minutes) * time.Minute)
+		fmt.Printf("  every %3d min: %v\n", minutes, p)
+	}
+}

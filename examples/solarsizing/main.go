@@ -1,0 +1,59 @@
+// Solarsizing: use the deployed-hive simulator to choose a wake-up
+// period the energy budget can sustain, and to see what fixing the
+// paper's night brownout (a protected battery bus) would buy.
+//
+// The paper's deployment browns out after sunset; this example contrasts
+// the observed behaviour with a corrected power path, across wake-up
+// periods, over a simulated week in Cachan.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"beesim"
+	"beesim/internal/report"
+)
+
+func main() {
+	table := report.NewTable(
+		"one simulated week in Cachan, by wake-up period and power-path design",
+		"Wake period", "Bus design", "Routines done", "Missed", "Recorder energy", "Harvest used")
+
+	for _, period := range []time.Duration{5 * time.Minute, 10 * time.Minute, 30 * time.Minute} {
+		for _, brownout := range []bool{true, false} {
+			cfg := beesim.DefaultTraceConfig()
+			cfg.WakePeriod = period
+			cfg.NightBrownout = brownout
+			tr, err := beesim.RunTrace(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			design := "deployed (night brownout)"
+			if !brownout {
+				design = "protected battery bus"
+			}
+			consumed := float64(tr.RecorderEnergy + tr.MonitorEnergy)
+			usedPct := 100 * consumed / float64(tr.HarvestedEnergy)
+			table.MustAddRow(
+				period.String(),
+				design,
+				fmt.Sprintf("%d", tr.Wakeups),
+				fmt.Sprintf("%d", tr.MissedWakeups),
+				tr.RecorderEnergy.String(),
+				fmt.Sprintf("%.0f%%", usedPct))
+		}
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(`
+reading the table:
+  - the deployed design loses every night's cycles (the paper's Fig 2a gaps);
+  - a protected bus recovers them at a modest extra energy cost;
+  - longer wake periods cut recorder energy roughly linearly (Fig 3's
+    convergence to the sleep floor), at the price of coarser data.`)
+}

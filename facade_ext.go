@@ -1,0 +1,190 @@
+package beesim
+
+// This file extends the façade with the subsystems built beyond the
+// paper's figures: the multi-service catalog, the adaptive controller,
+// the learned simulation surrogate, the swarm predictor, the vision
+// services, the networked agent/server pair and the data archive.
+
+import (
+	"beesim/internal/adaptive"
+	"beesim/internal/experiments"
+	"beesim/internal/hivenet"
+	"beesim/internal/optimizer"
+	"beesim/internal/services"
+	"beesim/internal/solar"
+	"beesim/internal/store"
+	"beesim/internal/surrogate"
+	"beesim/internal/swarm"
+	"beesim/internal/vision"
+)
+
+// Service catalog (beyond queen detection, the paper's "pollen
+// detection, counting bees, and swarm prediction, among others").
+type (
+	// ServiceKind identifies a catalog service.
+	ServiceKind = services.Kind
+	// ServiceProfile is one service's resource footprint.
+	ServiceProfile = services.Profile
+	// ServiceBundle is the set of services one hive runs per cycle.
+	ServiceBundle = services.Bundle
+	// ServicePlan assigns each bundled service to a placement.
+	ServicePlan = services.PlacementPlan
+)
+
+// Catalog service kinds.
+const (
+	QueenDetectionService  = services.QueenDetection
+	PollenDetectionService = services.PollenDetection
+	BeeCountingService     = services.BeeCounting
+	SwarmPredictionService = services.SwarmPrediction
+)
+
+// ServiceCatalog returns the profile of a catalog service.
+func ServiceCatalog(k ServiceKind) (ServiceProfile, error) { return services.Catalog(k) }
+
+// PlanServices decides per-service placements for a bundle and fleet.
+func PlanServices(b ServiceBundle, hives int, server ServerSpec, l Losses) (ServicePlan, error) {
+	return services.PlanBundle(b, hives, server, l)
+}
+
+// Adaptive orchestration (the paper's future work).
+type (
+	// AdaptivePolicy decides each cycle's period and placement.
+	AdaptivePolicy = adaptive.Policy
+	// AdaptiveResult summarizes one simulated policy run.
+	AdaptiveResult = adaptive.Result
+	// AdaptiveConfig shapes a policy simulation.
+	AdaptiveConfig = adaptive.Config
+)
+
+// ThresholdPolicy returns the battery-band controller.
+func ThresholdPolicy() AdaptivePolicy { return adaptive.DefaultThreshold() }
+
+// ForecastPolicy returns the solar-forecast controller.
+func ForecastPolicy() AdaptivePolicy { return adaptive.DefaultForecast() }
+
+// SimulatePolicy runs one controller through simulated weather.
+func SimulatePolicy(cfg AdaptiveConfig, p AdaptivePolicy) (AdaptiveResult, error) {
+	return adaptive.Simulate(cfg, p)
+}
+
+// DefaultAdaptiveConfig simulates a week in Cachan from a half-charged
+// battery.
+func DefaultAdaptiveConfig() AdaptiveConfig { return adaptive.DefaultConfig() }
+
+// Learned simulation surrogate (the paper's future work).
+type (
+	// Surrogate is a fitted fast predictor of the scale simulator.
+	Surrogate = surrogate.Surrogate
+	// SurrogateConfig shapes surrogate training.
+	SurrogateConfig = surrogate.Config
+)
+
+// FitSurrogate samples the exact simulator and fits the fast model.
+func FitSurrogate(cfg SurrogateConfig) (*Surrogate, error) { return surrogate.Fit(cfg) }
+
+// DefaultSurrogateConfig samples the Figures 6-9 input space.
+func DefaultSurrogateConfig(svc Service) SurrogateConfig { return surrogate.DefaultConfig(svc) }
+
+// Swarm prediction.
+type (
+	// SwarmPredictor accumulates piping evidence into a swarm risk.
+	SwarmPredictor = swarm.Predictor
+	// SwarmObservation is one cycle's inputs to the predictor.
+	SwarmObservation = swarm.Observation
+)
+
+// PipingScore measures queen piping in a clip, in [0, 1].
+func PipingScore(clip []float64, sampleRate int) (float64, error) {
+	return swarm.PipingScore(clip, sampleRate)
+}
+
+// NewSwarmPredictor returns a predictor with the default tuning.
+func NewSwarmPredictor() (*SwarmPredictor, error) {
+	return swarm.NewPredictor(swarm.DefaultPredictor())
+}
+
+// Vision services.
+type (
+	// EntranceScene is a synthesized entrance image with ground truth.
+	EntranceScene = vision.Scene
+	// GrayImage is a grayscale image in [0, 1].
+	GrayImage = vision.Gray
+)
+
+// SynthesizeEntranceImage renders an entrance image with the given
+// number of bees.
+func SynthesizeEntranceImage(bees int, seed uint64) (*EntranceScene, error) {
+	cfg := vision.DefaultScene(bees)
+	cfg.Seed = seed
+	return vision.Synthesize(cfg)
+}
+
+// CountBees runs the bee-counting service on an entrance image.
+func CountBees(img *GrayImage) int { return vision.CountBees(img) }
+
+// DetectPollen counts pollen-carrying bees in an entrance image.
+func DetectPollen(img *GrayImage) int { return vision.DetectPollen(img) }
+
+// Networked realization.
+type (
+	// CloudServer is the TCP queen-detection service.
+	CloudServer = hivenet.Server
+	// EdgeAgent is the TCP smart-beehive client.
+	EdgeAgent = hivenet.Agent
+	// CloudServerConfig shapes the server.
+	CloudServerConfig = hivenet.ServerConfig
+	// EdgeAgentConfig shapes an agent.
+	EdgeAgentConfig = hivenet.AgentConfig
+	// Archive is the cloud's append-only data store.
+	Archive = store.Store
+)
+
+// NewCloudServer trains the service model and binds a listener.
+func NewCloudServer(addr string, cfg CloudServerConfig) (*CloudServer, error) {
+	return hivenet.NewServer(addr, cfg)
+}
+
+// DialCloud connects an edge agent to a cloud server.
+func DialCloud(addr string, cfg EdgeAgentConfig) (*EdgeAgent, error) {
+	return hivenet.Dial(addr, cfg)
+}
+
+// DefaultCloudServerConfig mirrors the paper's Figure-6 slot shape.
+func DefaultCloudServerConfig() CloudServerConfig { return hivenet.DefaultServerConfig() }
+
+// DefaultEdgeAgentConfig returns an edge+cloud agent at the paper's
+// cadence.
+func DefaultEdgeAgentConfig(hiveID string) EdgeAgentConfig {
+	return hivenet.DefaultAgentConfig(hiveID)
+}
+
+// Extension experiments.
+var (
+	// Seasonal summarizes the deployment's energy balance per month.
+	Seasonal = experiments.Seasonal
+	// Apiary runs the paper's five-hive deployment.
+	Apiary = experiments.Apiary
+	// PolicyComparison contrasts fixed and adaptive orchestration.
+	PolicyComparison = experiments.PolicyComparison
+)
+
+// Deployment sites of the paper.
+var (
+	Cachan = solar.Cachan
+	Lyon   = solar.Lyon
+)
+
+// Orchestration optimizer.
+type (
+	// OptimizerRequirements state a fleet's needs.
+	OptimizerRequirements = optimizer.Requirements
+	// OptimizerResult carries the optimum and the Pareto frontier.
+	OptimizerResult = optimizer.Result
+)
+
+// Optimize searches wake period x slot capacity x placement for the
+// least-energy configuration meeting the freshness requirement.
+func Optimize(req OptimizerRequirements) (OptimizerResult, error) {
+	return optimizer.Optimize(req, optimizer.DefaultOptions())
+}

@@ -1,0 +1,131 @@
+package beesim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestServiceCatalogFacade(t *testing.T) {
+	for _, k := range []ServiceKind{
+		QueenDetectionService, PollenDetectionService,
+		BeeCountingService, SwarmPredictionService,
+	} {
+		p, err := ServiceCatalog(k)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if p.EdgeFLOPs <= 0 {
+			t.Fatalf("%v: empty profile", k)
+		}
+	}
+}
+
+func TestPlanServicesFacade(t *testing.T) {
+	plan, err := PlanServices(ServiceBundle{
+		Kinds:  []ServiceKind{QueenDetectionService, BeeCountingService},
+		Period: 30 * time.Minute,
+	}, 2000, DefaultServer(35), Losses{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Decisions) != 2 {
+		t.Fatalf("decisions = %d", len(plan.Decisions))
+	}
+	if plan.TotalPerClient() <= 0 {
+		t.Fatal("plan has no cost")
+	}
+}
+
+func TestAdaptiveFacade(t *testing.T) {
+	cfg := DefaultAdaptiveConfig()
+	cfg.Days = 1
+	res, err := SimulatePolicy(cfg, ThresholdPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Routines == 0 {
+		t.Fatal("no routines")
+	}
+	if _, err := SimulatePolicy(cfg, ForecastPolicy()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurrogateFacade(t *testing.T) {
+	svc, err := NewService(CNN, DefaultPeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSurrogateConfig(svc)
+	cfg.Samples = 100
+	s, err := FitSurrogate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TrainR2 < 0.9 {
+		t.Fatalf("surrogate R2 = %v", s.TrainR2)
+	}
+}
+
+func TestSwarmFacade(t *testing.T) {
+	cfg := DefaultAudioConfig()
+	cfg.Seconds = 1
+	corpus, err := SynthesizeCorpus(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := PipingScore(corpus[0].Samples, AudioSampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0 || score > 1 {
+		t.Fatalf("score = %v", score)
+	}
+	p, err := NewSwarmPredictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(SwarmObservation{Time: time.Now(), Piping: score, Activity: 0.5})
+}
+
+func TestVisionFacade(t *testing.T) {
+	scene, err := SynthesizeEntranceImage(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := CountBees(scene.Image)
+	if n < 4 || n > 8 {
+		t.Fatalf("counted %d bees, truth 6", n)
+	}
+	_ = DetectPollen(scene.Image)
+}
+
+func TestNetworkedFacade(t *testing.T) {
+	server, err := NewCloudServer("127.0.0.1:0", DefaultCloudServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve() //nolint:errcheck
+	defer server.Close()
+	agent, err := DialCloud(server.Addr(), DefaultEdgeAgentConfig("facade-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	if agent.Slot() < 0 {
+		t.Fatal("no slot assigned")
+	}
+	var _ *Archive = server.Archive()
+}
+
+func TestExtensionExperimentsFacade(t *testing.T) {
+	if _, err := Apiary(1, 30*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Seasonal(Cachan, 1, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if Lyon.Name != "Lyon" {
+		t.Fatal("site export broken")
+	}
+}

@@ -1,0 +1,3 @@
+module beesim
+
+go 1.22

@@ -1,0 +1,162 @@
+// Package battery models the smart beehive's energy buffer: a 20 000 mAh
+// USB power bank charged from the solar panel through a 5 V DC/DC
+// converter, discharged by the two Raspberry Pis.
+//
+// The model tracks state of charge with separate charge and discharge
+// efficiencies, enforces capacity bounds, and exposes the low-voltage
+// cutoff that, combined with the panel's night brownout, produces the
+// outage gaps visible in the paper's Figure 2a.
+package battery
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"beesim/internal/units"
+)
+
+// Config describes a battery pack.
+type Config struct {
+	// Capacity is the usable energy when full.
+	Capacity units.WattHours
+	// ChargeEfficiency is the fraction of input energy stored (0..1].
+	ChargeEfficiency float64
+	// DischargeEfficiency is the fraction of stored energy delivered (0..1].
+	DischargeEfficiency float64
+	// MaxChargePower limits the charging rate (converter limit).
+	MaxChargePower units.Watts
+	// CutoffFraction is the state of charge below which the pack's
+	// protection circuit disconnects the load.
+	CutoffFraction float64
+	// ReconnectFraction is the state of charge the pack must recover to
+	// before the load reconnects after a cutoff (hysteresis).
+	ReconnectFraction float64
+}
+
+// DefaultConfig models the deployed 20 000 mAh (3.7 V cells = 74 Wh) power
+// bank behind a 5 V / 3 A converter.
+func DefaultConfig() Config {
+	return Config{
+		Capacity:            74,
+		ChargeEfficiency:    0.92,
+		DischargeEfficiency: 0.90,
+		MaxChargePower:      15, // 5 V * 3 A converter ceiling
+		CutoffFraction:      0.05,
+		ReconnectFraction:   0.10,
+	}
+}
+
+// Battery is a stateful pack. Construct with New.
+type Battery struct {
+	cfg    Config
+	stored units.WattHours // energy currently held
+	cut    bool            // protection circuit open?
+
+	// Lifetime counters for reporting.
+	totalIn  units.Joules
+	totalOut units.Joules
+	cutoffs  int
+}
+
+// New creates a battery at the given initial state of charge (0..1).
+func New(cfg Config, initialSoC float64) (*Battery, error) {
+	if cfg.Capacity <= 0 {
+		return nil, errors.New("battery: non-positive capacity")
+	}
+	if cfg.ChargeEfficiency <= 0 || cfg.ChargeEfficiency > 1 ||
+		cfg.DischargeEfficiency <= 0 || cfg.DischargeEfficiency > 1 {
+		return nil, errors.New("battery: efficiencies must be in (0,1]")
+	}
+	if cfg.CutoffFraction < 0 || cfg.ReconnectFraction < cfg.CutoffFraction ||
+		cfg.ReconnectFraction > 1 {
+		return nil, errors.New("battery: invalid cutoff/reconnect fractions")
+	}
+	if initialSoC < 0 || initialSoC > 1 {
+		return nil, fmt.Errorf("battery: initial SoC %v out of [0,1]", initialSoC)
+	}
+	b := &Battery{cfg: cfg, stored: units.WattHours(float64(cfg.Capacity) * initialSoC)}
+	b.cut = b.SoC() <= cfg.CutoffFraction
+	return b, nil
+}
+
+// SoC returns the state of charge in [0, 1].
+func (b *Battery) SoC() float64 {
+	return float64(b.stored) / float64(b.cfg.Capacity)
+}
+
+// Stored returns the energy currently held.
+func (b *Battery) Stored() units.WattHours { return b.stored }
+
+// LoadConnected reports whether the protection circuit currently allows
+// discharge.
+func (b *Battery) LoadConnected() bool { return !b.cut }
+
+// Cutoffs returns how many times the protection circuit opened.
+func (b *Battery) Cutoffs() int { return b.cutoffs }
+
+// Totals returns lifetime charged and delivered energies.
+func (b *Battery) Totals() (in, out units.Joules) { return b.totalIn, b.totalOut }
+
+// Charge feeds power p into the pack for duration d. Power beyond the
+// configured charge limit is curtailed (a real MPPT/converter clips).
+// It returns the energy actually stored.
+func (b *Battery) Charge(p units.Watts, d time.Duration) units.Joules {
+	if p <= 0 || d <= 0 {
+		return 0
+	}
+	if p > b.cfg.MaxChargePower {
+		p = b.cfg.MaxChargePower
+	}
+	in := p.Energy(d)
+	stored := units.Joules(float64(in) * b.cfg.ChargeEfficiency)
+	room := (b.cfg.Capacity - b.stored).Joules()
+	if stored > room {
+		stored = room
+	}
+	b.stored += stored.WattHours()
+	b.totalIn += stored
+	if b.cut && b.SoC() >= b.cfg.ReconnectFraction {
+		b.cut = false
+	}
+	return stored
+}
+
+// Discharge draws power p for duration d from the pack. It returns the
+// duration actually sustained: shorter than d if the pack hits its cutoff
+// mid-interval (the paper's night outage), zero if the load is already
+// disconnected.
+func (b *Battery) Discharge(p units.Watts, d time.Duration) time.Duration {
+	if p <= 0 || d <= 0 || b.cut {
+		return 0
+	}
+	need := units.Joules(float64(p.Energy(d)) / b.cfg.DischargeEfficiency)
+	floor := units.WattHours(float64(b.cfg.Capacity) * b.cfg.CutoffFraction)
+	available := (b.stored - floor).Joules()
+	if available <= 0 {
+		b.openProtection()
+		return 0
+	}
+	if need <= available {
+		b.stored -= need.WattHours()
+		delivered := units.Joules(float64(need) * b.cfg.DischargeEfficiency)
+		b.totalOut += delivered
+		if b.SoC() <= b.cfg.CutoffFraction {
+			b.openProtection()
+		}
+		return d
+	}
+	// Partial interval until cutoff.
+	frac := float64(available) / float64(need)
+	b.stored -= available.WattHours()
+	b.totalOut += units.Joules(float64(available) * b.cfg.DischargeEfficiency)
+	b.openProtection()
+	return time.Duration(float64(d) * frac)
+}
+
+func (b *Battery) openProtection() {
+	if !b.cut {
+		b.cut = true
+		b.cutoffs++
+	}
+}

@@ -1,0 +1,203 @@
+package deployment
+
+import (
+	"testing"
+	"time"
+
+	"beesim/internal/hive"
+	"beesim/internal/solar"
+)
+
+func shortCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Days = 2
+	return cfg
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Days = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero days accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.WakePeriod = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero wake period accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Start = time.Time{}
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero start accepted")
+	}
+}
+
+func TestNightGapsInRecorderTrace(t *testing.T) {
+	tr, err := Run(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 2a shows the system down each night. With the
+	// brownout behaviour on, the recorder power trace must have one long
+	// gap per night.
+	gaps := tr.RecorderPower.Gaps(2 * time.Hour)
+	if len(gaps) < 1 {
+		t.Fatalf("no multi-hour night gaps in a 2-day trace (outages=%d)", tr.Outages)
+	}
+	for _, g := range gaps {
+		dur := g.End.Sub(g.Start)
+		if dur < 4*time.Hour || dur > 16*time.Hour {
+			t.Fatalf("night gap %v long, want a plausible night", dur)
+		}
+	}
+	if tr.Outages < 2 {
+		t.Fatalf("outages = %d, want >= 2 over two nights", tr.Outages)
+	}
+}
+
+func TestWakeupsAtCadence(t *testing.T) {
+	tr, err := Run(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With ~14 daylight hours at a 10-minute period, roughly 84 wakeups
+	// per day succeed; the rest land during the night outage.
+	perDay := float64(tr.Wakeups) / 2
+	if perDay < 50 || perDay > 144 {
+		t.Fatalf("wakeups/day = %v, want daylight-limited cadence", perDay)
+	}
+	if tr.MissedWakeups == 0 {
+		t.Fatal("no missed wakeups despite night outages")
+	}
+	if tr.Wakeups+tr.MissedWakeups != 2*144 {
+		t.Fatalf("wake signals = %d, want %d", tr.Wakeups+tr.MissedWakeups, 2*144)
+	}
+}
+
+func TestRecorderSpikes(t *testing.T) {
+	tr, err := Run(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The power trace alternates between the 0.625 W sleep level and the
+	// ~2.14 W routine level.
+	var sawSleep, sawActive bool
+	for _, p := range tr.RecorderPower.Points() {
+		switch {
+		case p.V > 0.5 && p.V < 0.8:
+			sawSleep = true
+		case p.V > 1.8 && p.V < 2.5:
+			sawActive = true
+		case p.V <= 0 || p.V > 3:
+			t.Fatalf("implausible recorder power %v", p.V)
+		}
+	}
+	if !sawSleep || !sawActive {
+		t.Fatalf("trace lacks sleep/active levels (sleep=%v active=%v)", sawSleep, sawActive)
+	}
+}
+
+func TestInsideTempTracksColony(t *testing.T) {
+	cfg := shortCfg()
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A full colony holds the queen-excluder temperature well above the
+	// April outside temperature.
+	if tr.InsideTemp.Len() == 0 {
+		t.Fatal("no inside temperature readings")
+	}
+	var insideSum float64
+	for _, p := range tr.InsideTemp.Points() {
+		insideSum += p.V
+	}
+	insideMean := insideSum / float64(tr.InsideTemp.Len())
+	var outsideSum float64
+	for _, p := range tr.OutsideTemp.Points() {
+		outsideSum += p.V
+	}
+	outsideMean := outsideSum / float64(tr.OutsideTemp.Len())
+	if insideMean < outsideMean+10 {
+		t.Fatalf("inside mean %.1f not clearly above outside %.1f", insideMean, outsideMean)
+	}
+}
+
+func TestEmptyHiveAbnormallyLowTemp(t *testing.T) {
+	// The paper notes "the colony of bees was yet to be introduced inside
+	// the beehive, hence the abnormally low inside temperature".
+	cfg := shortCfg()
+	cfg.Colony = hive.Config{Population: 0, BroodTarget: 35, Seed: 1}
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var insideSum, outsideSum float64
+	for _, p := range tr.InsideTemp.Points() {
+		insideSum += p.V
+	}
+	insideMean := insideSum / float64(tr.InsideTemp.Len())
+	for _, p := range tr.OutsideTemp.Points() {
+		outsideSum += p.V
+	}
+	outsideMean := outsideSum / float64(tr.OutsideTemp.Len())
+	if insideMean > outsideMean+3 {
+		t.Fatalf("empty hive inside %.1f should track outside %.1f", insideMean, outsideMean)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	tr, err := Run(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.RecorderEnergy <= 0 || tr.MonitorEnergy <= 0 || tr.HarvestedEnergy <= 0 {
+		t.Fatalf("non-positive energies: rec=%v mon=%v harv=%v",
+			tr.RecorderEnergy, tr.MonitorEnergy, tr.HarvestedEnergy)
+	}
+	// Harvest must exceed consumption on sunny April days (the panel is
+	// rated 30 W against a ~1.5 W average load).
+	if tr.HarvestedEnergy < tr.RecorderEnergy+tr.MonitorEnergy {
+		t.Fatal("panel did not cover the load on clear spring days")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Wakeups != b.Wakeups || a.Outages != b.Outages ||
+		a.RecorderEnergy != b.RecorderEnergy {
+		t.Fatal("equal-seed runs differ")
+	}
+}
+
+func TestNoBrownoutRunsThroughNight(t *testing.T) {
+	cfg := shortCfg()
+	cfg.NightBrownout = false
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a healthy bus, the battery carries the night: no multi-hour
+	// gaps and nearly all wake-ups succeed.
+	if gaps := tr.RecorderPower.Gaps(2 * time.Hour); len(gaps) != 0 {
+		t.Fatalf("unexpected outage gaps without brownout: %v", gaps)
+	}
+	if tr.MissedWakeups != 0 {
+		t.Fatalf("missed %d wakeups without brownout", tr.MissedWakeups)
+	}
+}
+
+func TestLyonLocation(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Location = solar.Lyon
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package des is beesim's discrete-event simulation core.
+//
+// Every time-domain experiment in the paper runs on this engine: the
+// week-long hive trace of Figure 2 (solar, battery, weather and routine
+// processes interleaved), the 319-routine measurement campaign of Section
+// IV, and the per-cycle scenario timelines behind Tables I and II.
+//
+// The engine is a classic event-calendar design: a binary heap of timed
+// events, a virtual clock that jumps from event to event, and helper
+// process abstractions on top. Determinism is guaranteed by breaking
+// timestamp ties with a monotonically increasing sequence number, so two
+// events scheduled for the same instant always fire in scheduling order.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	at     time.Time
+	seq    uint64
+	fn     func()
+	cancel bool
+	index  int // heap index, -1 once popped
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation. Create one with New; the zero value
+// is not usable.
+type Sim struct {
+	now     time.Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// New creates a simulation whose clock starts at the given virtual time.
+func New(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// Fired returns the number of events executed so far (for introspection
+// and tests).
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still scheduled.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is an
+// error: the calendar cannot rewind.
+func (s *Sim) At(t time.Time, fn func()) (*Event, error) {
+	if t.Before(s.now) {
+		return nil, fmt.Errorf("des: schedule at %v before now %v", t, s.now)
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e, nil
+}
+
+// After schedules fn after delay d from now. Negative delays are errors.
+func (s *Sim) After(d time.Duration, fn func()) (*Event, error) {
+	if d < 0 {
+		return nil, errors.New("des: negative delay")
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Every schedules fn at period p, first firing after one period. The
+// returned stop function cancels the recurrence. Periods must be positive.
+func (s *Sim) Every(p time.Duration, fn func()) (stop func(), err error) {
+	if p <= 0 {
+		return nil, errors.New("des: non-positive period")
+	}
+	var cur *Event
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if stopped { // fn may call stop
+			return
+		}
+		cur, _ = s.After(p, tick) // After from a handler never fails: delay > 0
+	}
+	cur, err = s.After(p, tick)
+	if err != nil {
+		return nil, err
+	}
+	return func() {
+		stopped = true
+		if cur != nil {
+			cur.Cancel()
+		}
+	}, nil
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Step fires the single earliest pending event and advances the clock to
+// it. It reports whether an event was fired.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the calendar is empty, Stop is called, or the
+// clock would pass the horizon. The clock finishes exactly at the horizon
+// when it is the limiting factor.
+func (s *Sim) Run(horizon time.Time) {
+	s.stopped = false
+	for !s.stopped {
+		// Peek: don't execute events beyond the horizon.
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at.After(horizon) {
+			s.now = horizon
+			return
+		}
+		s.Step()
+	}
+	if s.now.Before(horizon) && s.peek() == nil && !s.stopped {
+		s.now = horizon
+	}
+}
+
+// RunFor executes events for a virtual duration d from the current time.
+func (s *Sim) RunFor(d time.Duration) { s.Run(s.now.Add(d)) }
+
+// peek returns the earliest non-cancelled event without popping it.
+func (s *Sim) peek() *Event {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if !e.cancel {
+			return e
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// Process is a resumable sequential activity built from chained delays; it
+// models things like "boot, collect for 64 s, transfer, shut down" without
+// goroutines, keeping the engine single-threaded and deterministic.
+type Process struct {
+	sim  *Sim
+	done bool
+}
+
+// NewProcess creates a process bound to the simulation.
+func NewProcess(s *Sim) *Process { return &Process{sim: s} }
+
+// Then schedules the next stage after d. Chained stages run sequentially:
+// each stage receives the process so it can schedule its successor.
+// Calling Then on a finished process is a no-op returning an error.
+func (p *Process) Then(d time.Duration, stage func(*Process)) error {
+	if p.done {
+		return errors.New("des: process already finished")
+	}
+	_, err := p.sim.After(d, func() {
+		if !p.done {
+			stage(p)
+		}
+	})
+	return err
+}
+
+// Finish marks the process complete; pending stages are suppressed.
+func (p *Process) Finish() { p.done = true }
+
+// Done reports whether Finish was called.
+func (p *Process) Done() bool { return p.done }
+
+// Sim returns the simulation this process runs on.
+func (p *Process) Sim() *Sim { return p.sim }

@@ -1,0 +1,268 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC)
+
+func TestAfterOrdering(t *testing.T) {
+	s := New(t0)
+	var order []int
+	if _, err := s.After(2*time.Second, func() { order = append(order, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.After(1*time.Second, func() { order = append(order, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.After(3*time.Second, func() { order = append(order, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(t0.Add(time.Minute))
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	s := New(t0)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.At(t0.Add(time.Second), func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(t0.Add(time.Minute))
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := New(t0)
+	var seen time.Time
+	if _, err := s.After(90*time.Second, func() { seen = s.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(t0.Add(time.Hour))
+	if !seen.Equal(t0.Add(90 * time.Second)) {
+		t.Fatalf("handler saw clock %v", seen)
+	}
+	if !s.Now().Equal(t0.Add(time.Hour)) {
+		t.Fatalf("final clock = %v, want horizon", s.Now())
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	s := New(t0)
+	if _, err := s.At(t0.Add(-time.Second), func() {}); err == nil {
+		t.Fatal("past scheduling accepted")
+	}
+	if _, err := s.After(-time.Second, func() {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(t0)
+	fired := false
+	e, err := s.After(time.Second, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Cancel()
+	s.Run(t0.Add(time.Minute))
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Fired() != 0 {
+		t.Fatalf("Fired = %d, want 0", s.Fired())
+	}
+}
+
+func TestHorizonStopsBeforeLaterEvents(t *testing.T) {
+	s := New(t0)
+	fired := false
+	if _, err := s.After(2*time.Hour, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(t0.Add(time.Hour))
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if !s.Now().Equal(t0.Add(time.Hour)) {
+		t.Fatalf("clock = %v, want horizon", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	// A later Run picks the event up.
+	s.Run(t0.Add(3 * time.Hour))
+	if !fired {
+		t.Fatal("event not fired on resumed run")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New(t0)
+	count := 0
+	stop, err := s.Every(10*time.Minute, func() { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(t0.Add(time.Hour))
+	if count != 6 {
+		t.Fatalf("ticks in 1 h at 10 min = %d, want 6", count)
+	}
+	stop()
+	s.Run(t0.Add(2 * time.Hour))
+	if count != 6 {
+		t.Fatalf("ticks after stop = %d, want 6", count)
+	}
+}
+
+func TestEveryStopFromHandler(t *testing.T) {
+	s := New(t0)
+	count := 0
+	var stop func()
+	var err error
+	stop, err = s.Every(time.Minute, func() {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(t0.Add(time.Hour))
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (stop from handler)", count)
+	}
+}
+
+func TestEveryRejectsBadPeriod(t *testing.T) {
+	s := New(t0)
+	if _, err := s.Every(0, func() {}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(t0)
+	count := 0
+	if _, err := s.After(time.Second, func() { count++; s.Stop() }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.After(2*time.Second, func() { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(t0.Add(time.Minute))
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 after Stop", count)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	s := New(t0)
+	if s.Step() {
+		t.Fatal("Step on empty calendar reported an event")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// A handler scheduling more events models routine chains.
+	s := New(t0)
+	var times []time.Duration
+	if _, err := s.After(time.Second, func() {
+		times = append(times, s.Now().Sub(t0))
+		if _, err := s.After(2*time.Second, func() {
+			times = append(times, s.Now().Sub(t0))
+		}); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(t0.Add(time.Minute))
+	if len(times) != 2 || times[0] != time.Second || times[1] != 3*time.Second {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestProcessChain(t *testing.T) {
+	s := New(t0)
+	p := NewProcess(s)
+	var marks []time.Duration
+	err := p.Then(10*time.Second, func(p *Process) {
+		marks = append(marks, s.Now().Sub(t0))
+		if err := p.Then(5*time.Second, func(p *Process) {
+			marks = append(marks, s.Now().Sub(t0))
+			p.Finish()
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(t0.Add(time.Minute))
+	if len(marks) != 2 || marks[0] != 10*time.Second || marks[1] != 15*time.Second {
+		t.Fatalf("marks = %v", marks)
+	}
+	if !p.Done() {
+		t.Fatal("process not done")
+	}
+	if err := p.Then(time.Second, func(*Process) {}); err == nil {
+		t.Fatal("Then after Finish accepted")
+	}
+}
+
+func TestProcessFinishSuppressesPending(t *testing.T) {
+	s := New(t0)
+	p := NewProcess(s)
+	fired := false
+	if err := p.Then(10*time.Second, func(*Process) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	p.Finish()
+	s.Run(t0.Add(time.Minute))
+	if fired {
+		t.Fatal("stage ran after Finish")
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	s := New(t0)
+	s.RunFor(30 * time.Minute)
+	if !s.Now().Equal(t0.Add(30 * time.Minute)) {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestManyEventsHeapStress(t *testing.T) {
+	s := New(t0)
+	const n = 10000
+	count := 0
+	// Insert in a scrambled deterministic order.
+	for i := 0; i < n; i++ {
+		d := time.Duration((i*7919)%n) * time.Millisecond
+		if _, err := s.After(d, func() { count++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := s.Now()
+	for s.Step() {
+		if s.Now().Before(last) {
+			t.Fatal("clock went backwards")
+		}
+		last = s.Now()
+	}
+	if count != n {
+		t.Fatalf("fired %d, want %d", count, n)
+	}
+}

@@ -1,0 +1,101 @@
+// Package dsp implements the signal-processing pipeline of Section V:
+// radix-2 FFT, Hann-windowed STFT, power spectrograms, the mel filterbank
+// (FFT window 2048, hop 512, 128 mel bands at 22 050 Hz) and the bilinear
+// resize that converts spectrograms into the CNN's square inputs.
+//
+// Everything is implemented from scratch on float64/complex128; there is
+// no external numerics dependency.
+package dsp
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. The length must be a power of two.
+func FFT(x []complex128) error {
+	return fft(x, false)
+}
+
+// IFFT computes the inverse FFT in place (including the 1/N scaling).
+func IFFT(x []complex128) error {
+	return fft(x, true)
+}
+
+func fft(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return errors.New("dsp: empty FFT input")
+	}
+	if n&(n-1) != 0 {
+		return errors.New("dsp: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Danielson-Lanczos butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		angle := -2 * math.Pi / float64(size)
+		if inverse {
+			angle = -angle
+		}
+		wStep := cmplx.Exp(complex(0, angle))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	if inverse {
+		scale := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= scale
+		}
+	}
+	return nil
+}
+
+// RFFT computes the FFT of a real signal and returns the n/2+1
+// non-redundant bins. The input length must be a power of two.
+func RFFT(x []float64) ([]complex128, error) {
+	buf := make([]complex128, len(x))
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	if err := FFT(buf); err != nil {
+		return nil, err
+	}
+	return buf[:len(x)/2+1], nil
+}
+
+// NextPow2 returns the smallest power of two >= n (minimum 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// HannWindow returns the n-point periodic Hann window used for STFT
+// analysis.
+func HannWindow(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n)))
+	}
+	return w
+}

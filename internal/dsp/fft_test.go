@@ -1,0 +1,173 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"beesim/internal/rng"
+)
+
+func TestFFTErrors(t *testing.T) {
+	if err := FFT(nil); err == nil {
+		t.Error("empty FFT accepted")
+	}
+	if err := FFT(make([]complex128, 12)); err == nil {
+		t.Error("non-power-of-two FFT accepted")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A pure cosine at bin k concentrates in bins k and n-k.
+	const n, k = 64, 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*float64(k*i)/n), 0)
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		mag := cmplx.Abs(v)
+		if i == k || i == n-k {
+			if math.Abs(mag-n/2) > 1e-9 {
+				t.Fatalf("bin %d magnitude = %v, want %v", i, mag, n/2)
+			}
+		} else if mag > 1e-9 {
+			t.Fatalf("bin %d magnitude = %v, want 0", i, mag)
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	x := make([]complex128, 128)
+	orig := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(r.Norm(), r.Norm())
+		orig[i] = x[i]
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+			t.Fatalf("round trip differs at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	// FFT(a*x + b*y) == a*FFT(x) + b*FFT(y)
+	f := func(seed uint64, aRaw, bRaw int8) bool {
+		const n = 32
+		a := complex(float64(aRaw)/16, 0)
+		b := complex(float64(bRaw)/16, 0)
+		r := rng.New(seed)
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		combo := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			x[i] = complex(r.Norm(), r.Norm())
+			y[i] = complex(r.Norm(), r.Norm())
+			combo[i] = a*x[i] + b*y[i]
+		}
+		if FFT(x) != nil || FFT(y) != nil || FFT(combo) != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if cmplx.Abs(combo[i]-(a*x[i]+b*y[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// sum |x|^2 == (1/N) sum |X|^2
+	f := func(seed uint64) bool {
+		const n = 64
+		r := rng.New(seed)
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(r.Norm(), 0)
+			timeEnergy += real(x[i]) * real(x[i])
+		}
+		if FFT(x) != nil {
+			return false
+		}
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(timeEnergy-freqEnergy/n) < 1e-9*math.Max(1, timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRFFT(t *testing.T) {
+	x := make([]float64, 32)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 3 * float64(i) / 32)
+	}
+	bins, err := RFFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 17 {
+		t.Fatalf("rfft bins = %d, want 17", len(bins))
+	}
+	if mag := cmplx.Abs(bins[3]); math.Abs(mag-16) > 1e-9 {
+		t.Fatalf("bin 3 magnitude = %v, want 16", mag)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 17: 32, 2048: 2048, 2049: 4096}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestHannWindow(t *testing.T) {
+	w := HannWindow(8)
+	if w[0] != 0 {
+		t.Fatalf("Hann[0] = %v, want 0", w[0])
+	}
+	if math.Abs(w[4]-1) > 1e-12 {
+		t.Fatalf("Hann midpoint = %v, want 1", w[4])
+	}
+	// Periodic Hann: w[k] == w[n-k].
+	for k := 1; k < 8; k++ {
+		if math.Abs(w[k]-w[8-k]) > 1e-12 {
+			t.Fatalf("Hann asymmetric at %d", k)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major 2D array (rows x cols).
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// MinMax returns the smallest and largest elements.
+func (m *Matrix) MinMax() (min, max float64) {
+	if len(m.Data) == 0 {
+		return 0, 0
+	}
+	min, max = m.Data[0], m.Data[0]
+	for _, v := range m.Data[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Normalize rescales the matrix in place to [0, 1]; a constant matrix
+// becomes all zeros.
+func (m *Matrix) Normalize() {
+	min, max := m.MinMax()
+	span := max - min
+	if span == 0 {
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+		return
+	}
+	for i, v := range m.Data {
+		m.Data[i] = (v - min) / span
+	}
+}
+
+// STFTConfig shapes the short-time Fourier transform.
+type STFTConfig struct {
+	// FFTSize is the analysis window length (a power of two).
+	FFTSize int
+	// Hop is the number of samples between adjacent frames.
+	Hop int
+}
+
+// PaperSTFT is the paper's configuration: "the length of the fast-Fourier
+// transform window is 2048, the number of audio samples between adjacent
+// short-time Fourier transform columns is 512".
+func PaperSTFT() STFTConfig { return STFTConfig{FFTSize: 2048, Hop: 512} }
+
+// PowerSpectrogram computes |STFT|^2 of the signal with a Hann window.
+// The result has FFTSize/2+1 rows (frequency bins) and one column per
+// frame; signals shorter than one window are an error.
+func PowerSpectrogram(signal []float64, cfg STFTConfig) (*Matrix, error) {
+	if cfg.FFTSize <= 0 || cfg.FFTSize&(cfg.FFTSize-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT size %d is not a power of two", cfg.FFTSize)
+	}
+	if cfg.Hop <= 0 {
+		return nil, errors.New("dsp: non-positive hop")
+	}
+	if len(signal) < cfg.FFTSize {
+		return nil, fmt.Errorf("dsp: signal (%d samples) shorter than one window (%d)",
+			len(signal), cfg.FFTSize)
+	}
+	window := HannWindow(cfg.FFTSize)
+	frames := 1 + (len(signal)-cfg.FFTSize)/cfg.Hop
+	bins := cfg.FFTSize/2 + 1
+	out := NewMatrix(bins, frames)
+	buf := make([]complex128, cfg.FFTSize)
+	for f := 0; f < frames; f++ {
+		off := f * cfg.Hop
+		for i := 0; i < cfg.FFTSize; i++ {
+			buf[i] = complex(signal[off+i]*window[i], 0)
+		}
+		if err := FFT(buf); err != nil {
+			return nil, err
+		}
+		for b := 0; b < bins; b++ {
+			re, im := real(buf[b]), imag(buf[b])
+			out.Set(b, f, re*re+im*im)
+		}
+	}
+	return out, nil
+}
+
+// HzToMel converts frequency to the HTK mel scale.
+func HzToMel(hz float64) float64 { return 2595 * math.Log10(1+hz/700) }
+
+// MelToHz converts the HTK mel scale back to frequency.
+func MelToHz(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1) }
+
+// MelFilterbank builds nMels triangular filters over FFT bins for the
+// given sample rate, spanning 0 Hz to Nyquist. The returned matrix is
+// nMels x (fftSize/2+1); each row sums the power bins of one mel band.
+func MelFilterbank(nMels, fftSize, sampleRate int) (*Matrix, error) {
+	if nMels <= 0 || fftSize <= 0 || sampleRate <= 0 {
+		return nil, errors.New("dsp: invalid filterbank shape")
+	}
+	bins := fftSize/2 + 1
+	maxMel := HzToMel(float64(sampleRate) / 2)
+	// nMels+2 edge points define nMels triangles.
+	edges := make([]float64, nMels+2)
+	for i := range edges {
+		mel := maxMel * float64(i) / float64(nMels+1)
+		edges[i] = MelToHz(mel) * float64(fftSize) / float64(sampleRate)
+	}
+	fb := NewMatrix(nMels, bins)
+	for m := 0; m < nMels; m++ {
+		lo, center, hi := edges[m], edges[m+1], edges[m+2]
+		for b := 0; b < bins; b++ {
+			f := float64(b)
+			var w float64
+			switch {
+			case f < lo || f > hi:
+				w = 0
+			case f <= center:
+				if center > lo {
+					w = (f - lo) / (center - lo)
+				}
+			default:
+				if hi > center {
+					w = (hi - f) / (hi - center)
+				}
+			}
+			fb.Set(m, b, w)
+		}
+	}
+	return fb, nil
+}
+
+// MelSpectrogram computes the log-compressed mel spectrogram of a signal
+// using the paper's front end: power STFT, mel filterbank, log(1+x).
+// The result is nMels rows by frames columns.
+func MelSpectrogram(signal []float64, cfg STFTConfig, nMels, sampleRate int) (*Matrix, error) {
+	spec, err := PowerSpectrogram(signal, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := MelFilterbank(nMels, cfg.FFTSize, sampleRate)
+	if err != nil {
+		return nil, err
+	}
+	out := NewMatrix(nMels, spec.Cols)
+	for m := 0; m < nMels; m++ {
+		for f := 0; f < spec.Cols; f++ {
+			var sum float64
+			for b := 0; b < spec.Rows; b++ {
+				if w := fb.At(m, b); w != 0 {
+					sum += w * spec.At(b, f)
+				}
+			}
+			out.Set(m, f, math.Log1p(sum))
+		}
+	}
+	return out, nil
+}
+
+// Resize maps the matrix onto a rows x cols grid with bilinear
+// interpolation — how the 128 x frames mel image becomes the CNN's
+// square N x N input for Figure 5's size sweep.
+func (m *Matrix) Resize(rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, errors.New("dsp: non-positive resize target")
+	}
+	if m.Rows == 0 || m.Cols == 0 {
+		return nil, errors.New("dsp: resize of empty matrix")
+	}
+	out := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		// Map output pixel centers onto the source grid.
+		sr := (float64(r)+0.5)*float64(m.Rows)/float64(rows) - 0.5
+		r0 := int(math.Floor(sr))
+		fr := sr - float64(r0)
+		r1 := r0 + 1
+		r0 = clampInt(r0, 0, m.Rows-1)
+		r1 = clampInt(r1, 0, m.Rows-1)
+		for c := 0; c < cols; c++ {
+			sc := (float64(c)+0.5)*float64(m.Cols)/float64(cols) - 0.5
+			c0 := int(math.Floor(sc))
+			fc := sc - float64(c0)
+			c1 := c0 + 1
+			c0 = clampInt(c0, 0, m.Cols-1)
+			c1 = clampInt(c1, 0, m.Cols-1)
+			v := m.At(r0, c0)*(1-fr)*(1-fc) +
+				m.At(r1, c0)*fr*(1-fc) +
+				m.At(r0, c1)*(1-fr)*fc +
+				m.At(r1, c1)*fr*fc
+			out.Set(r, c, v)
+		}
+	}
+	return out, nil
+}
+
+// Flatten returns a copy of the matrix contents as a vector, the SVM's
+// feature representation.
+func (m *Matrix) Flatten() []float64 {
+	return append([]float64(nil), m.Data...)
+}
+
+// MeanPool collapses the time axis, returning the per-mel-band mean — a
+// compact fixed-size vector feature for classical models regardless of
+// clip length.
+func (m *Matrix) MeanPool() []float64 {
+	out := make([]float64, m.Rows)
+	if m.Cols == 0 {
+		return out
+	}
+	for r := 0; r < m.Rows; r++ {
+		var sum float64
+		for c := 0; c < m.Cols; c++ {
+			sum += m.At(r, c)
+		}
+		out[r] = sum / float64(m.Cols)
+	}
+	return out
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,388 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each Table*/Figure* function produces both the structured
+// numbers (for tests and benchmarks) and render-ready report artifacts
+// (for the CLIs). See DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"beesim/internal/core"
+	"beesim/internal/netsim"
+	"beesim/internal/power"
+	"beesim/internal/report"
+	"beesim/internal/rng"
+	"beesim/internal/routine"
+	"beesim/internal/stats"
+	"beesim/internal/units"
+)
+
+// Period is the paper's standard 5-minute cycle.
+const Period = 5 * time.Minute
+
+// ---------------------------------------------------------------------
+// Tables I & II
+// ---------------------------------------------------------------------
+
+// ScenarioTable is one scenario's task breakdown for the tables.
+type ScenarioTable struct {
+	Spec  routine.Spec
+	Cycle routine.Cycle
+}
+
+// TableI builds the edge-scenario breakdowns (SVM and CNN) of Table I.
+func TableI() ([]ScenarioTable, error) {
+	return buildScenarios(routine.EdgeOnly)
+}
+
+// TableII builds the edge+cloud breakdowns (SVM and CNN) of Table II.
+func TableII() ([]ScenarioTable, error) {
+	return buildScenarios(routine.EdgeCloud)
+}
+
+func buildScenarios(p routine.Placement) ([]ScenarioTable, error) {
+	pi, cloud := power.DefaultPi3B(), power.DefaultCloud()
+	var out []ScenarioTable
+	for _, m := range []routine.Model{routine.SVM, routine.CNN} {
+		spec := routine.Spec{Period: Period, Model: m, Placement: p}
+		cycle, err := routine.Build(pi, cloud, spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %v/%v: %w", p, m, err)
+		}
+		out = append(out, ScenarioTable{Spec: spec, Cycle: cycle})
+	}
+	return out, nil
+}
+
+// RenderScenario formats one scenario as a text table in the paper's
+// layout.
+func RenderScenario(s ScenarioTable) *report.Table {
+	title := fmt.Sprintf("Scenario: %s (%s), %s cycle",
+		s.Spec.Placement, s.Spec.Model, s.Spec.Period)
+	var t *report.Table
+	if len(s.Cycle.CloudTasks) == 0 {
+		t = report.NewTable(title, "Edge Task", "Energy of Edge (J)", "Time (s)")
+		for _, task := range s.Cycle.EdgeTasks {
+			t.MustAddRow(task.Name,
+				fmt.Sprintf("%.1f", float64(task.Energy)),
+				fmt.Sprintf("%.1f", task.Duration.Seconds()))
+		}
+		t.MustAddRow("Total",
+			fmt.Sprintf("%.1f", float64(s.Cycle.EdgeEnergy())),
+			fmt.Sprintf("%.0f", s.Cycle.Duration().Seconds()))
+		return t
+	}
+	t = report.NewTable(title, "Edge Task", "Energy of Edge (J)",
+		"Cloud Server Task", "Energy of Cloud Server (J)", "Time (s)")
+	for i, task := range s.Cycle.EdgeTasks {
+		cloud := s.Cycle.CloudTasks[i]
+		t.MustAddRow(task.Name,
+			fmt.Sprintf("%.1f", float64(task.Energy)),
+			cloud.Name,
+			fmt.Sprintf("%.1f", float64(cloud.Energy)),
+			fmt.Sprintf("%.1f", task.Duration.Seconds()))
+	}
+	t.MustAddRow("Total",
+		fmt.Sprintf("%.1f", float64(s.Cycle.EdgeEnergy())),
+		"",
+		fmt.Sprintf("%.1f", float64(s.Cycle.CloudEnergy())),
+		fmt.Sprintf("%.0f", s.Cycle.Duration().Seconds()))
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Section IV: routine statistics and Figure 3
+// ---------------------------------------------------------------------
+
+// RoutineStats replays the Section-IV measurement campaign (319 routines
+// by default in the paper).
+func RoutineStats(n int) (routine.CampaignStats, error) {
+	link, err := netsim.NewLink(netsim.DefaultConfig())
+	if err != nil {
+		return routine.CampaignStats{}, err
+	}
+	return routine.SimulateCampaign(power.DefaultPi3B(), link, n)
+}
+
+// Figure3Point is one wake-up-period sample of Figure 3.
+type Figure3Point struct {
+	Period   time.Duration
+	AvgPower units.Watts
+}
+
+// Figure3 computes the average consumed power at the paper's six wake-up
+// periods (5, 10, 15, 30, 60, 120 minutes).
+func Figure3() []Figure3Point {
+	pi := power.DefaultPi3B()
+	periods := []time.Duration{5, 10, 15, 30, 60, 120}
+	out := make([]Figure3Point, len(periods))
+	for i, m := range periods {
+		p := m * time.Minute
+		out[i] = Figure3Point{Period: p, AvgPower: pi.AveragePower(p)}
+	}
+	return out
+}
+
+// Figure3Series converts the points to a report series (x in minutes).
+func Figure3Series() report.Series {
+	pts := Figure3()
+	x := make([]float64, len(pts))
+	y := make([]float64, len(pts))
+	for i, p := range pts {
+		x[i] = p.Period.Minutes()
+		y[i] = float64(p.AvgPower)
+	}
+	s, _ := report.NewSeries("average power (W)", x, y)
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Figures 6-9: the scale simulation
+// ---------------------------------------------------------------------
+
+// SweepPoint is one fleet size evaluated in both scenarios.
+type SweepPoint struct {
+	Clients   int
+	EdgeOnly  core.CycleCost
+	EdgeCloud core.CycleCost
+}
+
+// Diff returns edge-only minus edge+cloud per-client energy: positive
+// values mean the edge+cloud scenario wins (the green regions of
+// Figures 7 and 9).
+func (p SweepPoint) Diff() units.Joules {
+	return p.EdgeOnly.PerClient() - p.EdgeCloud.PerClient()
+}
+
+// SweepConfig parameterizes a client-range sweep.
+type SweepConfig struct {
+	Service  core.Service
+	Server   core.ServerSpec
+	Losses   core.Losses
+	From, To int
+	Step     int
+	Policy   core.FillPolicy
+	Seed     uint64
+}
+
+// Sweep evaluates both scenarios across a client range.
+func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
+	if cfg.Step <= 0 {
+		cfg.Step = 1
+	}
+	if cfg.From <= 0 || cfg.To < cfg.From {
+		return nil, fmt.Errorf("experiments: bad sweep range [%d,%d]", cfg.From, cfg.To)
+	}
+	var r *rng.Source
+	if cfg.Losses.ClientLossFrac > 0 {
+		r = rng.New(cfg.Seed)
+	}
+	var out []SweepPoint
+	for n := cfg.From; n <= cfg.To; n += cfg.Step {
+		edge, err := core.SimulateEdgeOnly(n, cfg.Service, cfg.Losses, r)
+		if err != nil {
+			return nil, err
+		}
+		ec, err := core.SimulateEdgeCloud(n, cfg.Server, cfg.Service, cfg.Losses, cfg.Policy, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Clients: n, EdgeOnly: edge, EdgeCloud: ec})
+	}
+	return out, nil
+}
+
+// defaultService returns the CNN service the scale figures use.
+func defaultService() (core.Service, error) {
+	return core.NewService(routine.CNN, Period)
+}
+
+// Figure6 sweeps 10-400 clients at slot capacity 10 with no losses,
+// reproducing the server-count and per-client energy curves.
+func Figure6() ([]SweepPoint, error) {
+	svc, err := defaultService()
+	if err != nil {
+		return nil, err
+	}
+	return Sweep(SweepConfig{
+		Service: svc,
+		Server:  core.DefaultServer(10),
+		From:    10, To: 400, Step: 1,
+		Policy: core.FillSequential,
+	})
+}
+
+// Figure7 sweeps 100-2000 clients at the given slot capacity (the paper
+// contrasts 10 and 35) with no losses.
+func Figure7(maxParallel int) ([]SweepPoint, error) {
+	svc, err := defaultService()
+	if err != nil {
+		return nil, err
+	}
+	return Sweep(SweepConfig{
+		Service: svc,
+		Server:  core.DefaultServer(maxParallel),
+		From:    100, To: 2000, Step: 1,
+		Policy: core.FillSequential,
+	})
+}
+
+// Figure7Milestones extracts the paper's headline numbers from a cap-35
+// sweep: the first crossover, the peak advantage, and the fleet size
+// beyond which the edge+cloud scenario always wins.
+type Figure7Milestones struct {
+	FirstCrossover int
+	PeakClients    int
+	PeakAdvantage  units.Joules
+	PermanentFrom  int
+}
+
+// MilestonesOf scans a sweep for the Figure-7 milestones.
+func MilestonesOf(points []SweepPoint) Figure7Milestones {
+	var m Figure7Milestones
+	best := units.Joules(0)
+	for _, p := range points {
+		d := p.Diff()
+		if d > 0 && m.FirstCrossover == 0 {
+			m.FirstCrossover = p.Clients
+		}
+		if d > best {
+			best = d
+			m.PeakClients = p.Clients
+			m.PeakAdvantage = d
+		}
+		if d > 0 {
+			if m.PermanentFrom == 0 {
+				m.PermanentFrom = p.Clients
+			}
+		} else {
+			m.PermanentFrom = 0
+		}
+	}
+	return m
+}
+
+// LossVariant identifies one Figure-8 panel.
+type LossVariant int
+
+// The four panels of Figure 8.
+const (
+	LossA LossVariant = iota // slot saturation penalty
+	LossB                    // transfer-time penalty
+	LossC                    // Gaussian client loss
+	LossAll
+)
+
+// String names the variant.
+func (v LossVariant) String() string {
+	switch v {
+	case LossA:
+		return "loss A (slot saturation)"
+	case LossB:
+		return "loss B (transfer penalty)"
+	case LossC:
+		return "loss C (client loss)"
+	case LossAll:
+		return "losses A+B+C"
+	default:
+		return fmt.Sprintf("LossVariant(%d)", int(v))
+	}
+}
+
+// Losses returns the core loss configuration for the variant.
+func (v LossVariant) Losses() core.Losses {
+	switch v {
+	case LossA:
+		return core.PaperLosses(true, false, false)
+	case LossB:
+		return core.PaperLosses(false, true, false)
+	case LossC:
+		return core.PaperLosses(false, false, true)
+	default:
+		return core.PaperLosses(true, true, true)
+	}
+}
+
+// Figure8 sweeps 10-400 clients at capacity 10 under one loss variant.
+func Figure8(v LossVariant) ([]SweepPoint, error) {
+	svc, err := defaultService()
+	if err != nil {
+		return nil, err
+	}
+	return Sweep(SweepConfig{
+		Service: svc,
+		Server:  core.DefaultServer(10),
+		Losses:  v.Losses(),
+		From:    10, To: 400, Step: 1,
+		Policy: core.FillSequential,
+		Seed:   7,
+	})
+}
+
+// Figure9 sweeps 100-2000 clients at capacity 35 with all losses,
+// comparing both scenarios as the paper's final figure does. It uses the
+// loss semantics Figure 9's own numbers imply (core.Figure9Losses);
+// Figure 8 uses the harsher variant its numbers imply — the paper's two
+// loss figures are mutually inconsistent (EXPERIMENTS.md).
+func Figure9() ([]SweepPoint, error) {
+	svc, err := defaultService()
+	if err != nil {
+		return nil, err
+	}
+	return Sweep(SweepConfig{
+		Service: svc,
+		Server:  core.DefaultServer(35),
+		Losses:  core.Figure9Losses(),
+		From:    100, To: 2000, Step: 1,
+		Policy: core.FillSequential,
+		Seed:   7,
+	})
+}
+
+// SweepSeries converts sweep points into chart/CSV series: per-client
+// energies of both scenarios plus the server count.
+func SweepSeries(points []SweepPoint) (edge, cloud, servers report.Series, err error) {
+	n := len(points)
+	x := make([]float64, n)
+	ye := make([]float64, n)
+	yc := make([]float64, n)
+	ys := make([]float64, n)
+	for i, p := range points {
+		x[i] = float64(p.Clients)
+		ye[i] = float64(p.EdgeOnly.PerClient())
+		yc[i] = float64(p.EdgeCloud.PerClient())
+		ys[i] = float64(p.EdgeCloud.Servers)
+	}
+	if edge, err = report.NewSeries("edge J/client", x, ye); err != nil {
+		return
+	}
+	if cloud, err = report.NewSeries("edge+cloud J/client", x, yc); err != nil {
+		return
+	}
+	servers, err = report.NewSeries("servers", x, ys)
+	return
+}
+
+// CrossoverClients returns the client counts where the two scenarios'
+// per-client energies cross in a sweep.
+func CrossoverClients(points []SweepPoint) ([]float64, error) {
+	x := make([]float64, len(points))
+	a := make([]float64, len(points))
+	b := make([]float64, len(points))
+	for i, p := range points {
+		x[i] = float64(p.Clients)
+		a[i] = float64(p.EdgeOnly.PerClient())
+		b[i] = float64(p.EdgeCloud.PerClient())
+	}
+	cs, err := stats.Crossovers(x, a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(cs))
+	for i, c := range cs {
+		out[i] = c.X
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"beesim/internal/adaptive"
+	"beesim/internal/solar"
+)
+
+func TestSeasonalValidation(t *testing.T) {
+	if _, err := Seasonal(solar.Cachan, 0, 10*time.Minute); err == nil {
+		t.Error("zero days accepted")
+	}
+}
+
+func TestSeasonalShape(t *testing.T) {
+	pts, err := Seasonal(solar.Cachan, 1, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 12 {
+		t.Fatalf("months = %d", len(pts))
+	}
+	byMonth := map[time.Month]SeasonPoint{}
+	for _, p := range pts {
+		byMonth[p.Month] = p
+		if p.RoutinesPerDay < 0 || p.HarvestPerDay < 0 {
+			t.Fatalf("month %v has negative summary: %+v", p.Month, p)
+		}
+	}
+	// Summer harvests and yields clearly exceed winter's.
+	if byMonth[time.June].HarvestPerDay <= byMonth[time.December].HarvestPerDay {
+		t.Errorf("June harvest %v not above December %v",
+			byMonth[time.June].HarvestPerDay, byMonth[time.December].HarvestPerDay)
+	}
+	if byMonth[time.June].RoutinesPerDay <= byMonth[time.December].RoutinesPerDay {
+		t.Errorf("June yield %.0f/day not above December %.0f/day",
+			byMonth[time.June].RoutinesPerDay, byMonth[time.December].RoutinesPerDay)
+	}
+	// The brownout design misses wake-ups every month (nights exist).
+	for _, p := range pts {
+		if p.MissedPerDay == 0 {
+			t.Errorf("month %v missed nothing despite night brownouts", p.Month)
+		}
+	}
+}
+
+func TestApiaryFiveHives(t *testing.T) {
+	results, err := Apiary(1, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("hives = %d, want 5 (paper's deployment)", len(results))
+	}
+	cachan, lyon := 0, 0
+	for _, r := range results {
+		switch r.Hive.Location.Name {
+		case "Cachan":
+			cachan++
+		case "Lyon":
+			lyon++
+		}
+		if r.Trace.Wakeups == 0 {
+			t.Errorf("hive %s collected nothing", r.Hive.Name)
+		}
+	}
+	if cachan != 2 || lyon != 3 {
+		t.Fatalf("deployment = %d Cachan + %d Lyon, want 2 + 3", cachan, lyon)
+	}
+	// Distinct seeds give distinct traces.
+	if results[0].Trace.RecorderEnergy == results[1].Trace.RecorderEnergy {
+		t.Error("two hives produced identical traces")
+	}
+}
+
+func TestApiaryValidation(t *testing.T) {
+	if _, err := Apiary(0, 10*time.Minute); err == nil {
+		t.Error("zero days accepted")
+	}
+}
+
+func TestPolicyComparison(t *testing.T) {
+	cfg := adaptive.DefaultConfig()
+	cfg.Days = 2
+	results, err := PolicyComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("policies = %d, want 4", len(results))
+	}
+	// The adaptive policies out-collect the conservative baseline (sunny
+	// April lets them run fast) while staying at least as energy-efficient
+	// per collected routine as the aggressive fixed baseline.
+	aggressive, conservative := results[0], results[1]
+	perRoutine := func(r adaptive.Result) float64 {
+		if r.Routines == 0 {
+			return 0
+		}
+		return float64(r.EdgeEnergy) / float64(r.Routines)
+	}
+	for _, r := range results[2:] {
+		if r.Routines <= conservative.Routines {
+			t.Errorf("%s yield %d not above the 2-hour baseline %d",
+				r.Policy, r.Routines, conservative.Routines)
+		}
+		if perRoutine(r) > perRoutine(aggressive)*1.2 {
+			t.Errorf("%s energy/routine %.1f well above the aggressive baseline %.1f",
+				r.Policy, perRoutine(r), perRoutine(aggressive))
+		}
+	}
+}

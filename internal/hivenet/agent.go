@@ -1,0 +1,256 @@
+package hivenet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"beesim/internal/audio"
+	"beesim/internal/hive"
+	"beesim/internal/power"
+	"beesim/internal/proto"
+	"beesim/internal/queendetect"
+	"beesim/internal/routine"
+	"beesim/internal/units"
+)
+
+// AgentConfig shapes one edge agent.
+type AgentConfig struct {
+	HiveID string
+	// Placement selects the scenario: EdgeOnly runs the model locally
+	// and archives results; EdgeCloud uploads audio for cloud inference.
+	Placement routine.Placement
+	// WakePeriod is reported to the server for slot planning.
+	WakePeriod time.Duration
+	// ClipSeconds is the audio capture length per cycle.
+	ClipSeconds float64
+	// Seed drives the synthetic colony audio.
+	Seed uint64
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+}
+
+// DefaultAgentConfig returns an edge+cloud agent at the paper's cadence.
+func DefaultAgentConfig(hiveID string) AgentConfig {
+	return AgentConfig{
+		HiveID:      hiveID,
+		Placement:   routine.EdgeCloud,
+		WakePeriod:  5 * time.Minute,
+		ClipSeconds: 1,
+		Seed:        1,
+		DialTimeout: 5 * time.Second,
+	}
+}
+
+// Agent is a connected smart beehive.
+type Agent struct {
+	cfg      AgentConfig
+	conn     net.Conn
+	synth    *audio.Synth
+	detector *queendetect.SVMResult // only for the edge placement
+	slot     int
+
+	cycles     int
+	edgeEnergy units.Joules
+	lastResult *proto.Result
+}
+
+// Dial connects an agent to the cloud service and completes the session
+// handshake. For the EdgeOnly placement the agent also trains its local
+// model (the paper trains in the cloud and ships the model; here the
+// synthetic corpus makes local training equivalent).
+func Dial(addr string, cfg AgentConfig) (*Agent, error) {
+	if cfg.HiveID == "" {
+		return nil, errors.New("hivenet: empty hive id")
+	}
+	if cfg.ClipSeconds <= 0 {
+		return nil, errors.New("hivenet: non-positive clip length")
+	}
+	synth, err := audio.NewSynth(audio.Config{
+		SampleRate: audio.SampleRate,
+		Seconds:    cfg.ClipSeconds,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{cfg: cfg, synth: synth}
+
+	if cfg.Placement == routine.EdgeOnly {
+		corpus, err := audio.Corpus(audio.Config{
+			SampleRate: audio.SampleRate,
+			Seconds:    cfg.ClipSeconds,
+			Seed:       cfg.Seed + 1,
+		}, 60)
+		if err != nil {
+			return nil, err
+		}
+		a.detector, err = queendetect.TrainSVM(corpus, audio.SampleRate, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("hivenet: training edge model: %w", err)
+		}
+	}
+
+	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	a.conn = conn
+	if err := proto.Encode(conn, proto.TypeHello, proto.Hello{
+		HiveID:            cfg.HiveID,
+		WakePeriodSeconds: cfg.WakePeriod.Seconds(),
+		Version:           1,
+	}, nil); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	f, err := proto.Decode(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if f.Type == proto.TypeError {
+		var e proto.ErrorBody
+		_ = f.Unmarshal(proto.TypeError, &e)
+		conn.Close()
+		return nil, fmt.Errorf("hivenet: server refused: %s", e.Message)
+	}
+	var welcome proto.Welcome
+	if err := f.Unmarshal(proto.TypeWelcome, &welcome); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	a.slot = welcome.Slot
+	return a, nil
+}
+
+// Slot returns the server-assigned time slot.
+func (a *Agent) Slot() int { return a.slot }
+
+// Cycles returns the number of completed cycles.
+func (a *Agent) Cycles() int { return a.cycles }
+
+// EdgeEnergy returns the modeled edge energy spent so far (active tasks,
+// per the calibrated tables; sleep is not included since wall-clock time
+// in tests is compressed).
+func (a *Agent) EdgeEnergy() units.Joules { return a.edgeEnergy }
+
+// LastResult returns the most recent verdict, if any.
+func (a *Agent) LastResult() (proto.Result, bool) {
+	if a.lastResult == nil {
+		return proto.Result{}, false
+	}
+	return *a.lastResult, true
+}
+
+// RunCycle performs one wake-up cycle against the given ground-truth
+// colony state: collect (synthesize the clip and a sensor report), then
+// infer locally or upload, then "shut down".
+func (a *Agent) RunCycle(state hive.QueenState, activity float64, now time.Time) (proto.Result, error) {
+	if a.conn == nil {
+		return proto.Result{}, errors.New("hivenet: agent closed")
+	}
+	pi := power.DefaultPi3B()
+	clip := a.synth.Clip(state, activity)
+	a.edgeEnergy += pi.WakeAndCollect().Energy
+
+	// The scalar sensor report goes up in both placements.
+	report := proto.SensorReport{
+		HiveID:      a.cfg.HiveID,
+		Time:        now,
+		InsideTempC: 34.8,
+		InsideRH:    0.6,
+		BatterySoC:  0.8,
+	}
+	if err := proto.Encode(a.conn, proto.TypeSensorReport, report, nil); err != nil {
+		return proto.Result{}, err
+	}
+	if err := a.expectAck(); err != nil {
+		return proto.Result{}, err
+	}
+
+	var result proto.Result
+	switch a.cfg.Placement {
+	case routine.EdgeOnly:
+		queen, err := a.detector.Predict(clip, audio.SampleRate)
+		if err != nil {
+			return proto.Result{}, err
+		}
+		a.edgeEnergy += pi.InferSVM().Energy + pi.SendResults().Energy
+		result = proto.Result{
+			HiveID:       a.cfg.HiveID,
+			Time:         now,
+			QueenPresent: queen,
+			ComputedAt:   "edge",
+		}
+		if err := proto.Encode(a.conn, proto.TypeResult, result, nil); err != nil {
+			return proto.Result{}, err
+		}
+		if err := a.expectAck(); err != nil {
+			return proto.Result{}, err
+		}
+
+	case routine.EdgeCloud:
+		a.edgeEnergy += pi.SendAudio().Energy
+		up := proto.AudioUpload{
+			HiveID:     a.cfg.HiveID,
+			Time:       now,
+			SampleRate: audio.SampleRate,
+			Samples:    len(clip),
+		}
+		if err := proto.Encode(a.conn, proto.TypeAudioUpload, up, proto.PCMEncode(clip)); err != nil {
+			return proto.Result{}, err
+		}
+		f, err := proto.Decode(a.conn)
+		if err != nil {
+			return proto.Result{}, err
+		}
+		if f.Type == proto.TypeError {
+			var e proto.ErrorBody
+			_ = f.Unmarshal(proto.TypeError, &e)
+			return proto.Result{}, fmt.Errorf("hivenet: server error: %s", e.Message)
+		}
+		if err := f.Unmarshal(proto.TypeResult, &result); err != nil {
+			return proto.Result{}, err
+		}
+
+	default:
+		return proto.Result{}, fmt.Errorf("hivenet: unsupported placement %v", a.cfg.Placement)
+	}
+
+	a.edgeEnergy += pi.Shutdown().Energy
+	a.cycles++
+	a.lastResult = &result
+	return result, nil
+}
+
+func (a *Agent) expectAck() error {
+	f, err := proto.Decode(a.conn)
+	if err != nil {
+		return err
+	}
+	if f.Type == proto.TypeError {
+		var e proto.ErrorBody
+		_ = f.Unmarshal(proto.TypeError, &e)
+		return fmt.Errorf("hivenet: server error: %s", e.Message)
+	}
+	if f.Type != proto.TypeAck {
+		return fmt.Errorf("hivenet: expected ack, got %v", f.Type)
+	}
+	return nil
+}
+
+// Close says goodbye and releases the connection.
+func (a *Agent) Close() error {
+	if a.conn == nil {
+		return nil
+	}
+	_ = proto.Encode(a.conn, proto.TypeBye, nil, nil)
+	// Best effort: wait for the ack, then close either way.
+	_ = a.conn.SetReadDeadline(time.Now().Add(time.Second))
+	_, _ = proto.Decode(a.conn)
+	err := a.conn.Close()
+	a.conn = nil
+	return err
+}

@@ -1,0 +1,175 @@
+package hivenet
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"beesim/internal/store"
+)
+
+// This file gives the cloud service a beekeeper-facing HTTP dashboard:
+// JSON endpoints over the server's counters and archive, plus a minimal
+// HTML overview. Mount it with NewDashboard and any net/http server.
+
+// Dashboard serves monitoring endpoints for a running Server.
+type Dashboard struct {
+	srv *Server
+	mux *http.ServeMux
+}
+
+// NewDashboard wraps a server with its HTTP monitoring surface:
+//
+//	GET /            HTML overview
+//	GET /api/stats   server counters (JSON)
+//	GET /api/hives   known hive ids (JSON)
+//	GET /api/records?hive=ID[&kind=sensor|result][&hours=N]
+func NewDashboard(srv *Server) *Dashboard {
+	d := &Dashboard{srv: srv, mux: http.NewServeMux()}
+	d.mux.HandleFunc("/", d.handleIndex)
+	d.mux.HandleFunc("/api/stats", d.handleStats)
+	d.mux.HandleFunc("/api/hives", d.handleHives)
+	d.mux.HandleFunc("/api/records", d.handleRecords)
+	return d
+}
+
+// ServeHTTP implements http.Handler.
+func (d *Dashboard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (d *Dashboard) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	st := d.srv.Stats()
+	writeJSON(w, map[string]any{
+		"sessions":          st.Sessions,
+		"reports":           st.Reports,
+		"uploads":           st.Uploads,
+		"burst_energy_j":    float64(st.BurstEnergy),
+		"idle_energy_j":     float64(st.IdleEnergy),
+		"detector_accuracy": d.srv.DetectorAccuracy(),
+	})
+}
+
+func (d *Dashboard) handleHives(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, d.srv.Archive().Hives())
+}
+
+func (d *Dashboard) handleRecords(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	hive := r.URL.Query().Get("hive")
+	if hive == "" {
+		http.Error(w, "missing hive parameter", http.StatusBadRequest)
+		return
+	}
+	var kind store.Kind
+	switch r.URL.Query().Get("kind") {
+	case "":
+		kind = 0
+	case "sensor":
+		kind = store.KindSensor
+	case "result":
+		kind = store.KindResult
+	default:
+		http.Error(w, "unknown kind", http.StatusBadRequest)
+		return
+	}
+	hours := 24.0
+	if hstr := r.URL.Query().Get("hours"); hstr != "" {
+		h, err := strconv.ParseFloat(hstr, 64)
+		if err != nil || h <= 0 {
+			http.Error(w, "bad hours parameter", http.StatusBadRequest)
+			return
+		}
+		hours = h
+	}
+	now := time.Now().UTC().Add(time.Minute) // include just-written records
+	from := now.Add(-time.Duration(hours * float64(time.Hour)))
+	records, err := d.srv.Archive().Query(hive, from, now, kind)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, records)
+}
+
+var indexTemplate = template.Must(template.New("index").Parse(`<!doctype html>
+<html><head><title>beesim cloud service</title></head>
+<body>
+<h1>beesim cloud service</h1>
+<p>detector accuracy: {{printf "%.1f" .Accuracy}}%</p>
+<ul>
+<li>sessions: {{.Stats.Sessions}}</li>
+<li>reports: {{.Stats.Reports}}</li>
+<li>uploads: {{.Stats.Uploads}}</li>
+<li>burst energy above idle: {{printf "%.1f" .BurstJ}} J</li>
+</ul>
+<h2>hives</h2>
+<ul>
+{{range .Hives}}<li>{{.}} — latest: {{index $.Latest .}}</li>
+{{else}}<li>none yet</li>
+{{end}}
+</ul>
+<p>API: /api/stats, /api/hives, /api/records?hive=ID&amp;kind=result</p>
+</body></html>
+`))
+
+func (d *Dashboard) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	st := d.srv.Stats()
+	hives := d.srv.Archive().Hives()
+	sort.Strings(hives)
+	latest := map[string]string{}
+	for _, h := range hives {
+		if rec, ok := d.srv.Archive().Latest(h, store.KindResult); ok {
+			verdict := "queenless"
+			if rec.Fields["queen_present"] == 1 {
+				verdict = "queen present"
+			}
+			latest[h] = fmt.Sprintf("%s at %s", verdict, rec.Time.Format(time.RFC3339))
+		} else {
+			latest[h] = "no verdicts yet"
+		}
+	}
+	data := struct {
+		Stats    Stats
+		Accuracy float64
+		BurstJ   float64
+		Hives    []string
+		Latest   map[string]string
+	}{
+		Stats:    st,
+		Accuracy: 100 * d.srv.DetectorAccuracy(),
+		BurstJ:   float64(st.BurstEnergy),
+		Hives:    hives,
+		Latest:   latest,
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTemplate.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

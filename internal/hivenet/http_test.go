@@ -1,0 +1,128 @@
+package hivenet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"beesim/internal/hive"
+	"beesim/internal/store"
+)
+
+func dashboardWithTraffic(t *testing.T) (*Dashboard, *Server) {
+	t.Helper()
+	s := startServer(t, DefaultServerConfig())
+	agent, err := Dial(s.Addr(), DefaultAgentConfig("dash-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agent.Close() })
+	if _, err := agent.RunCycle(hive.QueenPresent, 0.6, time.Now().UTC()); err != nil {
+		t.Fatal(err)
+	}
+	return NewDashboard(s), s
+}
+
+func TestDashboardStats(t *testing.T) {
+	d, _ := dashboardWithTraffic(t)
+	rec := httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["uploads"].(float64) != 1 {
+		t.Fatalf("uploads = %v", body["uploads"])
+	}
+	if body["burst_energy_j"].(float64) <= 0 {
+		t.Fatal("no burst energy reported")
+	}
+}
+
+func TestDashboardHives(t *testing.T) {
+	d, _ := dashboardWithTraffic(t)
+	rec := httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/hives", nil))
+	var hives []string
+	if err := json.Unmarshal(rec.Body.Bytes(), &hives); err != nil {
+		t.Fatal(err)
+	}
+	if len(hives) != 1 || hives[0] != "dash-1" {
+		t.Fatalf("hives = %v", hives)
+	}
+}
+
+func TestDashboardRecords(t *testing.T) {
+	d, _ := dashboardWithTraffic(t)
+	rec := httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+		"/api/records?hive=dash-1&kind=result", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var records []store.Record
+	if err := json.Unmarshal(rec.Body.Bytes(), &records); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[0].Fields["queen_present"] != 1 {
+		t.Fatalf("verdict = %v", records[0].Fields)
+	}
+}
+
+func TestDashboardRecordsValidation(t *testing.T) {
+	d, _ := dashboardWithTraffic(t)
+	cases := []string{
+		"/api/records",                    // missing hive
+		"/api/records?hive=x&kind=banana", // bad kind
+		"/api/records?hive=x&hours=-1",    // bad hours
+		"/api/records?hive=x&hours=zero",  // unparsable hours
+	}
+	for _, url := range cases {
+		rec := httptest.NewRecorder()
+		d.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", url, rec.Code)
+		}
+	}
+}
+
+func TestDashboardIndexHTML(t *testing.T) {
+	d, _ := dashboardWithTraffic(t)
+	rec := httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"beesim cloud service", "dash-1", "queen present"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+	// Unknown paths 404.
+	rec = httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d", rec.Code)
+	}
+}
+
+func TestDashboardMethodGuards(t *testing.T) {
+	d, _ := dashboardWithTraffic(t)
+	for _, url := range []string{"/api/stats", "/api/hives", "/api/records?hive=x"} {
+		rec := httptest.NewRecorder()
+		d.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, url, nil))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status = %d, want 405", url, rec.Code)
+		}
+	}
+}

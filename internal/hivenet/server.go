@@ -1,0 +1,408 @@
+// Package hivenet is the runnable realization of the paper's
+// architecture: a cloud service and an edge agent speaking
+// internal/proto over TCP.
+//
+// The server plays the paper's cloud role: it assigns connecting hives
+// to time slots (the allocator's job in Section VI), receives sensor
+// reports and audio uploads, executes the queen-detection model on
+// uploads, and keeps the energy ledger of its own idle/receive/execute
+// bursts using the calibrated power models. The agent plays the edge
+// role: it collects a cycle's data, runs the model locally or uploads
+// the audio depending on its placement, and keeps the edge ledger.
+package hivenet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"beesim/internal/audio"
+	"beesim/internal/power"
+	"beesim/internal/proto"
+	"beesim/internal/queendetect"
+	"beesim/internal/store"
+	"beesim/internal/units"
+)
+
+// ServerConfig shapes the cloud service.
+type ServerConfig struct {
+	// MaxParallel is the slot capacity (clients per time slot).
+	MaxParallel int
+	// Slots is the number of time slots per cycle.
+	Slots int
+	// TrainCorpus is the number of synthetic clips used to train the
+	// server's queen-detection model at startup.
+	TrainCorpus int
+	// ClipSeconds is the training clip length.
+	ClipSeconds float64
+	// Seed drives training determinism.
+	Seed uint64
+	// Logf, when non-nil, receives server logs.
+	Logf func(format string, args ...any)
+	// ArchivePath, when non-empty, persists every report and verdict to
+	// a file-backed store (the paper's "remote data storage"); empty uses
+	// an in-memory archive.
+	ArchivePath string
+}
+
+// DefaultServerConfig mirrors the paper's Figure-6 setting with a small
+// training corpus.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		MaxParallel: 10,
+		Slots:       18,
+		TrainCorpus: 60,
+		ClipSeconds: 1,
+		Seed:        1,
+	}
+}
+
+// Server is the cloud service.
+type Server struct {
+	cfg      ServerConfig
+	ln       net.Listener
+	detector *queendetect.SVMResult
+	cloud    power.Cloud
+	archive  *store.Store
+
+	mu       sync.Mutex
+	nextSlot int
+	slotLoad []int
+	sessions int
+	reports  int
+	uploads  int
+	energy   units.Joules // receive+execute bursts above idle
+	closed   bool
+	wg       sync.WaitGroup
+	started  time.Time
+}
+
+// NewServer trains the detection model and binds a listener on addr
+// (use "127.0.0.1:0" for tests).
+func NewServer(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.MaxParallel <= 0 || cfg.Slots <= 0 {
+		return nil, errors.New("hivenet: non-positive slot shape")
+	}
+	if cfg.TrainCorpus < 8 {
+		return nil, errors.New("hivenet: training corpus too small")
+	}
+	corpus, err := audio.Corpus(audio.Config{
+		SampleRate: audio.SampleRate,
+		Seconds:    cfg.ClipSeconds,
+		Seed:       cfg.Seed,
+	}, cfg.TrainCorpus)
+	if err != nil {
+		return nil, err
+	}
+	detector, err := queendetect.TrainSVM(corpus, audio.SampleRate, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("hivenet: training detector: %w", err)
+	}
+	archive := store.OpenMemory()
+	if cfg.ArchivePath != "" {
+		archive, err = store.Open(cfg.ArchivePath)
+		if err != nil {
+			return nil, fmt.Errorf("hivenet: opening archive: %w", err)
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if cfg.ArchivePath != "" {
+			archive.Close()
+		}
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		detector: detector,
+		cloud:    power.DefaultCloud(),
+		archive:  archive,
+		slotLoad: make([]int, cfg.Slots),
+		started:  time.Now(),
+	}
+	return s, nil
+}
+
+// Archive exposes the server's data store for queries.
+func (s *Server) Archive() *store.Store { return s.archive }
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// DetectorAccuracy returns the held-out accuracy of the model the server
+// serves.
+func (s *Server) DetectorAccuracy() float64 { return s.detector.Metrics.Accuracy }
+
+// Serve accepts connections until Close. It returns nil after a clean
+// shutdown.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.handle(conn); err != nil && err != io.EOF {
+				s.logf("session error: %v", err)
+			}
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	if cerr := s.archive.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// archiveResult stores a verdict, logging rather than failing the
+// session on archive errors.
+func (s *Server) archiveResult(res proto.Result) {
+	queen := 0.0
+	if res.QueenPresent {
+		queen = 1
+	}
+	if err := s.archive.Append(store.Record{
+		Hive: res.HiveID,
+		Time: res.Time,
+		Kind: store.KindResult,
+		Fields: map[string]float64{
+			"queen_present": queen,
+			"confidence":    res.Confidence,
+		},
+		Text: map[string]string{"computed_at": res.ComputedAt},
+	}); err != nil {
+		s.logf("archive: %v", err)
+	}
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	Sessions int
+	Reports  int
+	Uploads  int
+	// BurstEnergy is the above-idle receive/execute energy modeled for
+	// the traffic served so far.
+	BurstEnergy units.Joules
+	// IdleEnergy is the modeled idle baseline since startup.
+	IdleEnergy units.Joules
+}
+
+// Stats returns a snapshot.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Sessions:    s.sessions,
+		Reports:     s.reports,
+		Uploads:     s.uploads,
+		BurstEnergy: s.energy,
+		IdleEnergy:  s.cloud.IdlePower.Energy(time.Since(s.started)),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) error {
+	defer conn.Close()
+
+	// Session opening: hello -> welcome with a slot assignment.
+	f, err := proto.Decode(conn)
+	if err != nil {
+		return err
+	}
+	var hello proto.Hello
+	if err := f.Unmarshal(proto.TypeHello, &hello); err != nil {
+		_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
+		return err
+	}
+	slot, err := s.assignSlot()
+	if err != nil {
+		_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
+		return err
+	}
+	s.mu.Lock()
+	s.sessions++
+	s.mu.Unlock()
+	if err := proto.Encode(conn, proto.TypeWelcome,
+		proto.Welcome{Slot: slot, MaxParallel: s.cfg.MaxParallel}, nil); err != nil {
+		return err
+	}
+	s.logf("hive %s joined slot %d", hello.HiveID, slot)
+
+	for {
+		f, err := proto.Decode(conn)
+		if err != nil {
+			if err == io.EOF {
+				return nil // agent dropped without bye; tolerated
+			}
+			return err
+		}
+		switch f.Type {
+		case proto.TypeSensorReport:
+			var r proto.SensorReport
+			if err := f.Unmarshal(proto.TypeSensorReport, &r); err != nil {
+				return err
+			}
+			if err := s.archive.Append(store.Record{
+				Hive: r.HiveID,
+				Time: r.Time,
+				Kind: store.KindSensor,
+				Fields: map[string]float64{
+					"inside_temp_c":  r.InsideTempC,
+					"inside_rh":      r.InsideRH,
+					"outside_temp_c": r.OutsideTempC,
+					"battery_soc":    r.BatterySoC,
+				},
+			}); err != nil {
+				s.logf("archive: %v", err)
+			}
+			s.mu.Lock()
+			s.reports++
+			s.mu.Unlock()
+			if err := proto.Encode(conn, proto.TypeAck, nil, nil); err != nil {
+				return err
+			}
+
+		case proto.TypeAudioUpload:
+			var up proto.AudioUpload
+			if err := f.Unmarshal(proto.TypeAudioUpload, &up); err != nil {
+				return err
+			}
+			samples, err := proto.PCMDecode(f.Raw)
+			if err != nil {
+				_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
+				return err
+			}
+			if len(samples) != up.Samples {
+				err := fmt.Errorf("hivenet: declared %d samples, got %d", up.Samples, len(samples))
+				_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
+				return err
+			}
+			queen, confidence, err := s.infer(samples, up.SampleRate)
+			if err != nil {
+				_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
+				return err
+			}
+			s.accountUpload()
+			s.mu.Lock()
+			s.uploads++
+			s.mu.Unlock()
+			res := proto.Result{
+				HiveID:       up.HiveID,
+				Time:         up.Time,
+				QueenPresent: queen,
+				Confidence:   confidence,
+				ComputedAt:   "cloud",
+			}
+			s.archiveResult(res)
+			if err := proto.Encode(conn, proto.TypeResult, res, nil); err != nil {
+				return err
+			}
+
+		case proto.TypeResult:
+			// An edge-computed verdict being archived.
+			var res proto.Result
+			if err := f.Unmarshal(proto.TypeResult, &res); err != nil {
+				return err
+			}
+			s.archiveResult(res)
+			s.mu.Lock()
+			s.reports++
+			s.mu.Unlock()
+			if err := proto.Encode(conn, proto.TypeAck, nil, nil); err != nil {
+				return err
+			}
+
+		case proto.TypeBye:
+			_ = proto.Encode(conn, proto.TypeAck, nil, nil)
+			return nil
+
+		default:
+			err := fmt.Errorf("hivenet: unexpected %v frame", f.Type)
+			_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
+			return err
+		}
+	}
+}
+
+// assignSlot implements the paper's sequential filling policy over the
+// live session set.
+func (s *Server) assignSlot() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < s.cfg.Slots; i++ {
+		idx := (s.nextSlot + i) % s.cfg.Slots
+		if s.slotLoad[idx] < s.cfg.MaxParallel {
+			s.slotLoad[idx]++
+			if s.slotLoad[idx] == s.cfg.MaxParallel {
+				s.nextSlot = (idx + 1) % s.cfg.Slots
+			} else {
+				s.nextSlot = idx
+			}
+			return idx, nil
+		}
+	}
+	return 0, errors.New("hivenet: server full (all slots at capacity)")
+}
+
+// infer runs the queen detector on an uploaded clip.
+func (s *Server) infer(samples []float64, sampleRate int) (bool, float64, error) {
+	if sampleRate <= 0 {
+		return false, 0, errors.New("hivenet: bad sample rate")
+	}
+	queen, err := s.detector.Predict(samples, sampleRate)
+	if err != nil {
+		return false, 0, err
+	}
+	// Confidence from the decision margin through a squashing map.
+	v, err := queendetect.VectorFeatures(samples, sampleRate)
+	if err != nil {
+		return false, 0, err
+	}
+	margin := s.detector.Model.Decision(s.detector.Scaler.Transform(v))
+	if margin < 0 {
+		margin = -margin
+	}
+	confidence := margin / (1 + margin)
+	return queen, confidence, nil
+}
+
+// accountUpload charges the energy ledger for one receive+execute burst
+// using the calibrated cloud model (Table II's rows).
+func (s *Server) accountUpload() {
+	recv := s.cloud.Receive()
+	exec := s.cloud.ExecSVM()
+	recvExtra := (recv.Power() - s.cloud.IdlePower).Energy(recv.Duration)
+	execExtra := (exec.Power() - s.cloud.IdlePower).Energy(exec.Duration)
+	s.mu.Lock()
+	s.energy += recvExtra + execExtra
+	s.mu.Unlock()
+}

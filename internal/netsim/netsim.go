@@ -1,0 +1,130 @@
+// Package netsim models the smart beehive's Wi-Fi uplink.
+//
+// Section IV of the paper attributes the routine-length spread (sigma =
+// 3.5 s over 319 routines) to "the variance of the duration of the data
+// transfer correlated to the unstable network throughput", and Section V
+// observes that "the network components have a larger energy cost than
+// the sensors". The model therefore provides a lognormal effective
+// throughput around a nominal rate, per-payload transfer durations, and
+// the transmit energy implied by the edge device's radio power.
+package netsim
+
+import (
+	"errors"
+	"time"
+
+	"beesim/internal/rng"
+	"beesim/internal/units"
+)
+
+// Bytes is a payload size.
+type Bytes int64
+
+// Common payload sizes of the deployed routine, from Section III: three
+// 10-second audio captures plus five 800x600 images plus scalar sensor
+// readings per wake-up.
+const (
+	// AudioSample10s is one 10 s mono 16-bit capture at 22 050 Hz.
+	AudioSample10s Bytes = 441_000
+	// Image800x600 is one JPEG-compressed 800x600 camera frame (~0.1 bpp
+	// of the raw 24-bit size).
+	Image800x600 Bytes = 180_000
+	// ScalarBatch is one batch of temperature/humidity/current readings.
+	ScalarBatch Bytes = 2_000
+)
+
+// RoutinePayload is the full upload of one data-collection routine:
+// 3 audio samples, 5 images and the scalar batch.
+func RoutinePayload() Bytes {
+	return 3*AudioSample10s + 5*Image800x600 + ScalarBatch
+}
+
+// Config describes a link.
+type Config struct {
+	// NominalThroughput is the median effective uplink rate in bytes/s.
+	// A busy 2.4 GHz roof deployment delivers well under the PHY rate.
+	NominalThroughput float64
+	// Sigma is the lognormal shape parameter of the throughput
+	// distribution; 0 gives a deterministic link.
+	Sigma float64
+	// TxPower is the extra electrical power the edge draws while
+	// transmitting (radio + CPU busy-wait).
+	TxPower units.Watts
+	// SetupTime is the per-transfer association/TLS overhead.
+	SetupTime time.Duration
+	// Seed drives the stochastic throughput.
+	Seed uint64
+}
+
+// DefaultConfig is calibrated so one full routine payload (≈2.2 MB)
+// transfers in about 15 s — the "Send audio + images" duration implied by
+// the paper's tables — with enough spread to reproduce the 3.5 s routine
+// sigma.
+func DefaultConfig() Config {
+	return Config{
+		NominalThroughput: 150_000, // ~1.2 Mbit/s effective
+		Sigma:             0.22,
+		TxPower:           0.45, // above-baseline radio draw
+		SetupTime:         500 * time.Millisecond,
+		Seed:              1,
+	}
+}
+
+// Link is a stateful uplink model.
+type Link struct {
+	cfg Config
+	r   *rng.Source
+}
+
+// NewLink creates a link from the configuration.
+func NewLink(cfg Config) (*Link, error) {
+	if cfg.NominalThroughput <= 0 {
+		return nil, errors.New("netsim: non-positive nominal throughput")
+	}
+	if cfg.Sigma < 0 {
+		return nil, errors.New("netsim: negative sigma")
+	}
+	if cfg.SetupTime < 0 {
+		return nil, errors.New("netsim: negative setup time")
+	}
+	return &Link{cfg: cfg, r: rng.New(cfg.Seed)}, nil
+}
+
+// Transfer is the outcome of one upload.
+type Transfer struct {
+	Payload     Bytes
+	Duration    time.Duration
+	Throughput  float64      // effective bytes/s achieved
+	ExtraEnergy units.Joules // radio energy above the device baseline
+}
+
+// Send simulates uploading payload over the link, drawing a fresh
+// throughput sample. Zero payloads take only the setup time.
+func (l *Link) Send(payload Bytes) Transfer {
+	if payload < 0 {
+		payload = 0
+	}
+	// Lognormal with median at the nominal rate.
+	tput := l.cfg.NominalThroughput
+	if l.cfg.Sigma > 0 {
+		tput = l.cfg.NominalThroughput * l.r.LogNormal(0, l.cfg.Sigma)
+	}
+	d := l.cfg.SetupTime +
+		time.Duration(float64(payload)/tput*float64(time.Second))
+	return Transfer{
+		Payload:     payload,
+		Duration:    d,
+		Throughput:  tput,
+		ExtraEnergy: l.cfg.TxPower.Energy(d),
+	}
+}
+
+// ExpectedDuration returns the transfer time at exactly the nominal
+// throughput (no sampling), used by deterministic scenario tables.
+func (l *Link) ExpectedDuration(payload Bytes) time.Duration {
+	if payload < 0 {
+		payload = 0
+	}
+	return l.cfg.SetupTime +
+		time.Duration(float64(payload)/l.cfg.NominalThroughput*float64(time.Second))
+}

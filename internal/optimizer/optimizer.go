@@ -1,0 +1,199 @@
+// Package optimizer closes the loop the paper opens: given an apiary and
+// a service bundle, search the orchestration space — wake-up period,
+// server slot capacity, and per-service placements — for the
+// configuration that minimizes energy subject to the beekeeper's
+// freshness requirement (how stale the newest data may become).
+//
+// The search space is small but rugged (capacity steps, slot ceilings,
+// placement flips), so the optimizer enumerates the discrete grid
+// exactly, using the analytic scale model per point, and reports the
+// full Pareto frontier between energy and data freshness alongside the
+// single optimum.
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"beesim/internal/core"
+	"beesim/internal/routine"
+	"beesim/internal/services"
+	"beesim/internal/units"
+)
+
+// Requirements state what the beekeeper needs.
+type Requirements struct {
+	// Hives is the fleet size.
+	Hives int
+	// Services is the bundle every hive must run each cycle.
+	Services []services.Kind
+	// MaxStaleness bounds the wake-up period: data may never be older
+	// than this.
+	MaxStaleness time.Duration
+	// Losses models the deployment's imperfections.
+	Losses core.Losses
+}
+
+// Options bound the search space.
+type Options struct {
+	// Periods are the candidate wake-up periods (defaults to the
+	// Figure 3 ladder).
+	Periods []time.Duration
+	// Capacities are the candidate per-slot client capacities.
+	Capacities []int
+}
+
+// DefaultOptions search the paper's studied space.
+func DefaultOptions() Options {
+	return Options{
+		Periods:    []time.Duration{5 * time.Minute, 10 * time.Minute, 15 * time.Minute, 30 * time.Minute, 60 * time.Minute, 120 * time.Minute},
+		Capacities: []int{10, 15, 20, 26, 35, 50},
+	}
+}
+
+// Candidate is one evaluated configuration.
+type Candidate struct {
+	Period      time.Duration
+	MaxParallel int
+	Plan        services.PlacementPlan
+	// PerHive is the per-cycle energy per hive (edge + server share).
+	PerHive units.Joules
+	// PerDay is the fleet's daily energy.
+	PerDay units.Joules
+	// Servers used by the plan's cloud-placed services (0 if all edge).
+	Servers int
+}
+
+// anyCloud reports whether the candidate offloads anything.
+func (c Candidate) anyCloud() bool {
+	for _, p := range c.Plan.Decisions {
+		if p == routine.EdgeCloud {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the optimizer's output.
+type Result struct {
+	// Best is the feasible candidate with the least daily energy.
+	Best Candidate
+	// Frontier is the energy/staleness Pareto frontier over feasible
+	// candidates, ordered by period.
+	Frontier []Candidate
+	// Evaluated counts grid points; Infeasible counts rejections.
+	Evaluated  int
+	Infeasible int
+}
+
+// Optimize searches the grid.
+func Optimize(req Requirements, opts Options) (Result, error) {
+	if req.Hives <= 0 {
+		return Result{}, errors.New("optimizer: need at least one hive")
+	}
+	if len(req.Services) == 0 {
+		return Result{}, errors.New("optimizer: empty service bundle")
+	}
+	if req.MaxStaleness <= 0 {
+		return Result{}, errors.New("optimizer: non-positive staleness bound")
+	}
+	if len(opts.Periods) == 0 || len(opts.Capacities) == 0 {
+		return Result{}, errors.New("optimizer: empty search space")
+	}
+
+	var res Result
+	var feasible []Candidate
+	for _, period := range opts.Periods {
+		if period > req.MaxStaleness {
+			continue // violates freshness regardless of placement
+		}
+		for _, maxPar := range opts.Capacities {
+			res.Evaluated++
+			bundle := services.Bundle{Kinds: req.Services, Period: period}
+			plan, err := services.PlanBundle(bundle, req.Hives,
+				core.DefaultServer(maxPar), req.Losses)
+			if err != nil {
+				res.Infeasible++
+				continue
+			}
+			cand := Candidate{
+				Period:      period,
+				MaxParallel: maxPar,
+				Plan:        plan,
+				PerHive:     plan.TotalPerClient(),
+			}
+			cycles := float64(24*time.Hour) / float64(period)
+			cand.PerDay = units.Joules(float64(cand.PerHive) * cycles * float64(req.Hives))
+			if cand.anyCloud() {
+				cand.Servers = serversFor(req, period, maxPar)
+			}
+			feasible = append(feasible, cand)
+		}
+	}
+	if len(feasible) == 0 {
+		return Result{}, fmt.Errorf("optimizer: no feasible configuration within %v staleness",
+			req.MaxStaleness)
+	}
+
+	// Best: least daily energy; ties broken toward fresher data.
+	sort.Slice(feasible, func(i, j int) bool {
+		if feasible[i].PerDay != feasible[j].PerDay {
+			return feasible[i].PerDay < feasible[j].PerDay
+		}
+		return feasible[i].Period < feasible[j].Period
+	})
+	res.Best = feasible[0]
+
+	// Pareto frontier over (period, daily energy): keep candidates not
+	// dominated by a fresher-or-equal, cheaper-or-equal alternative.
+	sort.Slice(feasible, func(i, j int) bool {
+		if feasible[i].Period != feasible[j].Period {
+			return feasible[i].Period < feasible[j].Period
+		}
+		return feasible[i].PerDay < feasible[j].PerDay
+	})
+	bestSoFar := units.Joules(0)
+	for _, c := range feasible {
+		if len(res.Frontier) > 0 {
+			last := res.Frontier[len(res.Frontier)-1]
+			if c.Period == last.Period {
+				continue // only the cheapest per period
+			}
+			if c.PerDay >= bestSoFar {
+				continue // dominated: staler and not cheaper
+			}
+		}
+		res.Frontier = append(res.Frontier, c)
+		bestSoFar = c.PerDay
+	}
+	return res, nil
+}
+
+// serversFor estimates the server count the cloud-placed services need,
+// using the heaviest service's slot shape (services share the upload
+// window conservatively).
+func serversFor(req Requirements, period time.Duration, maxPar int) int {
+	worst := 0
+	for _, k := range req.Services {
+		p, err := services.Catalog(k)
+		if err != nil {
+			continue
+		}
+		svc, err := p.OrchestrationService(period)
+		if err != nil {
+			continue
+		}
+		spec := core.ServerSpec{IdlePower: 44.6, MaxParallel: maxPar, Period: period}
+		capacity, err := spec.Capacity(svc, req.Losses)
+		if err != nil || capacity <= 0 {
+			continue
+		}
+		n := (req.Hives + capacity - 1) / capacity
+		if n > worst {
+			worst = n
+		}
+	}
+	return worst
+}

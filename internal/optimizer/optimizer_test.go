@@ -1,0 +1,156 @@
+package optimizer
+
+import (
+	"testing"
+	"time"
+
+	"beesim/internal/core"
+	"beesim/internal/routine"
+	"beesim/internal/services"
+)
+
+func queenOnly(hives int, staleness time.Duration) Requirements {
+	return Requirements{
+		Hives:        hives,
+		Services:     []services.Kind{services.QueenDetection},
+		MaxStaleness: staleness,
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	opts := DefaultOptions()
+	if _, err := Optimize(Requirements{}, opts); err == nil {
+		t.Error("empty requirements accepted")
+	}
+	if _, err := Optimize(queenOnly(0, time.Hour), opts); err == nil {
+		t.Error("zero hives accepted")
+	}
+	req := queenOnly(10, time.Hour)
+	req.Services = nil
+	if _, err := Optimize(req, opts); err == nil {
+		t.Error("empty bundle accepted")
+	}
+	if _, err := Optimize(queenOnly(10, 0), opts); err == nil {
+		t.Error("zero staleness accepted")
+	}
+	if _, err := Optimize(queenOnly(10, time.Hour), Options{}); err == nil {
+		t.Error("empty search space accepted")
+	}
+}
+
+func TestOptimizeRespectsStaleness(t *testing.T) {
+	res, err := Optimize(queenOnly(50, 20*time.Minute), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Period > 20*time.Minute {
+		t.Fatalf("best period %v violates the 20-minute staleness bound", res.Best.Period)
+	}
+	for _, c := range res.Frontier {
+		if c.Period > 20*time.Minute {
+			t.Fatalf("frontier period %v violates the bound", c.Period)
+		}
+	}
+}
+
+func TestOptimizeInfeasibleStaleness(t *testing.T) {
+	if _, err := Optimize(queenOnly(10, time.Minute), DefaultOptions()); err == nil {
+		t.Fatal("1-minute staleness should be infeasible on the ladder")
+	}
+}
+
+func TestOptimizePrefersSlowCadenceForEnergy(t *testing.T) {
+	// With a loose staleness bound, the cheapest daily energy comes from
+	// the slowest allowed period.
+	res, err := Optimize(queenOnly(50, 3*time.Hour), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Period != 2*time.Hour {
+		t.Fatalf("best period = %v, want the 2-hour ladder top", res.Best.Period)
+	}
+}
+
+func TestOptimizeSmallFleetStaysAtEdge(t *testing.T) {
+	res, err := Optimize(queenOnly(5, time.Hour), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, p := range res.Best.Plan.Decisions {
+		if p != routine.EdgeOnly {
+			t.Fatalf("%v offloaded for a 5-hive fleet", k)
+		}
+	}
+	if res.Best.Servers != 0 {
+		t.Fatalf("servers = %d for an all-edge plan", res.Best.Servers)
+	}
+}
+
+func TestOptimizeLargeFleetOffloadsHeavyBundle(t *testing.T) {
+	req := Requirements{
+		Hives:        3000,
+		Services:     []services.Kind{services.QueenDetection, services.BeeCounting},
+		MaxStaleness: time.Hour,
+	}
+	res, err := Optimize(req, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Plan.Decisions[services.BeeCounting] != routine.EdgeCloud {
+		t.Fatal("bee counting not offloaded at 3000 hives")
+	}
+	if res.Best.Servers < 1 {
+		t.Fatal("no servers counted despite offloading")
+	}
+}
+
+func TestFrontierIsPareto(t *testing.T) {
+	res, err := Optimize(queenOnly(500, 3*time.Hour), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i := 1; i < len(res.Frontier); i++ {
+		prev, cur := res.Frontier[i-1], res.Frontier[i]
+		if cur.Period <= prev.Period {
+			t.Fatal("frontier periods not increasing")
+		}
+		if cur.PerDay >= prev.PerDay {
+			t.Fatal("frontier energy not decreasing: staler points must be cheaper")
+		}
+	}
+	// The frontier's cheapest point is the optimizer's best.
+	last := res.Frontier[len(res.Frontier)-1]
+	if last.PerDay != res.Best.PerDay {
+		t.Fatalf("frontier end %v J/day != best %v J/day", last.PerDay, res.Best.PerDay)
+	}
+}
+
+func TestOptimizeCountsGrid(t *testing.T) {
+	res, err := Optimize(queenOnly(50, 3*time.Hour), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 6 periods pass the staleness bound; 6 capacities each.
+	if res.Evaluated != 36 {
+		t.Fatalf("evaluated = %d, want 36", res.Evaluated)
+	}
+}
+
+func TestOptimizeWithLosses(t *testing.T) {
+	req := queenOnly(2000, time.Hour)
+	req.Losses = core.PaperLosses(true, false, false)
+	res, err := Optimize(req, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noLoss, err := Optimize(queenOnly(2000, time.Hour), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Best.PerDay) < float64(noLoss.Best.PerDay)-1e-9 {
+		t.Fatal("losses made the optimum cheaper")
+	}
+}

@@ -1,0 +1,82 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecode hardens the frame parser against arbitrary bytes: it must
+// never panic, never allocate beyond the declared limits, and round-trip
+// anything it accepts.
+func FuzzDecode(f *testing.F) {
+	// Seed with valid frames of each type plus near-miss corruptions.
+	var buf bytes.Buffer
+	_ = Encode(&buf, TypeHello, Hello{HiveID: "h", WakePeriodSeconds: 300, Version: 1}, nil)
+	f.Add(buf.Bytes())
+	buf.Reset()
+	_ = Encode(&buf, TypeAudioUpload, AudioUpload{HiveID: "h", SampleRate: 22050, Samples: 2},
+		PCMEncode([]float64{0.1, -0.2}))
+	f.Add(buf.Bytes())
+	buf.Reset()
+	_ = Encode(&buf, TypeAck, nil, nil)
+	seed := buf.Bytes()
+	f.Add(seed)
+	// Corrupt magic.
+	bad := append([]byte(nil), seed...)
+	bad[0] ^= 0xFF
+	f.Add(bad)
+	// Oversized declared body.
+	big := append([]byte(nil), seed...)
+	binary.BigEndian.PutUint32(big[5:9], 0xFFFFFFFF)
+	f.Add(big)
+	f.Add([]byte{})
+	f.Add([]byte("GET / HTTP/1.1\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must re-encode losslessly.
+		var out bytes.Buffer
+		header := make([]byte, 13)
+		binary.BigEndian.PutUint32(header[0:4], Magic)
+		header[4] = byte(fr.Type)
+		binary.BigEndian.PutUint32(header[5:9], uint32(len(fr.Body)))
+		binary.BigEndian.PutUint32(header[9:13], uint32(len(fr.Raw)))
+		out.Write(header)
+		out.Write(fr.Body)
+		out.Write(fr.Raw)
+		back, err := Decode(&out)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if back.Type != fr.Type || !bytes.Equal(back.Body, fr.Body) || !bytes.Equal(back.Raw, fr.Raw) {
+			t.Fatal("accepted frame did not round-trip")
+		}
+	})
+}
+
+// FuzzPCMDecode hardens the PCM parser.
+func FuzzPCMDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add(PCMEncode([]float64{0.5, -0.5, 1, -1}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		samples, err := PCMDecode(data)
+		if err != nil {
+			return
+		}
+		for _, v := range samples {
+			if v < -1.001 || v > 1.001 {
+				t.Fatalf("decoded sample %v out of range", v)
+			}
+		}
+		// Round trip within quantization.
+		back := PCMEncode(samples)
+		if len(back) != len(data) {
+			t.Fatalf("length changed: %d -> %d", len(data), len(back))
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package proto
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := Hello{HiveID: "cachan-1", WakePeriodSeconds: 300, Version: 1}
+	raw := []byte{1, 2, 3, 4, 5}
+	if err := Encode(&buf, TypeHello, body, raw); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TypeHello {
+		t.Fatalf("type = %v", f.Type)
+	}
+	var back Hello
+	if err := f.Unmarshal(TypeHello, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != body {
+		t.Fatalf("body = %+v, want %+v", back, body)
+	}
+	if !bytes.Equal(f.Raw, raw) {
+		t.Fatalf("raw = %v", f.Raw)
+	}
+}
+
+func TestFrameNoBodyNoRaw(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, TypeAck, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 13 {
+		t.Fatalf("bare frame = %d bytes, want 13", buf.Len())
+	}
+	f, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TypeAck || f.Body != nil || f.Raw != nil {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	data := make([]byte, 13)
+	if _, err := Decode(bytes.NewReader(data)); err == nil {
+		t.Fatal("zero magic accepted")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, TypeResult, Result{HiveID: "x"}, []byte{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut += 5 {
+		if _, err := Decode(bytes.NewReader(whole[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeOversizeRejected(t *testing.T) {
+	header := make([]byte, 13)
+	header[0], header[1], header[2], header[3] = 0x42, 0x45, 0x45, 0x31
+	header[4] = byte(TypeAck)
+	// body length beyond MaxBody
+	header[5], header[6], header[7], header[8] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := Decode(bytes.NewReader(header)); err == nil {
+		t.Fatal("oversized body accepted")
+	}
+}
+
+func TestUnmarshalTypeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, TypeResult, Result{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Hello
+	if err := f.Unmarshal(TypeHello, &h); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestMultipleFramesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := Encode(&buf, TypeSensorReport, SensorReport{
+			HiveID: "h", Time: time.Unix(int64(i), 0).UTC(), InsideTempC: 35,
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		f, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		var r SensorReport
+		if err := f.Unmarshal(TypeSensorReport, &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Time.Unix() != int64(i) {
+			t.Fatalf("frame %d out of order: %v", i, r.Time)
+		}
+	}
+	if _, err := Decode(&buf); err != io.EOF {
+		t.Fatalf("stream end = %v, want EOF", err)
+	}
+}
+
+func TestPCMRoundTrip(t *testing.T) {
+	samples := []float64{0, 0.5, -0.5, 1, -1, 0.123, -0.987}
+	raw := PCMEncode(samples)
+	if len(raw) != 2*len(samples) {
+		t.Fatalf("raw = %d bytes", len(raw))
+	}
+	back, err := PCMDecode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range samples {
+		if math.Abs(back[i]-samples[i]) > 1.0/32000 {
+			t.Fatalf("sample %d: %v vs %v", i, back[i], samples[i])
+		}
+	}
+}
+
+func TestPCMClipsAndValidates(t *testing.T) {
+	raw := PCMEncode([]float64{7, -7})
+	back, err := PCMDecode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0] < 0.99 || back[1] > -0.99 {
+		t.Fatalf("clipping failed: %v", back)
+	}
+	if _, err := PCMDecode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("odd PCM length accepted")
+	}
+}
+
+func TestPropertyFrameRoundTrip(t *testing.T) {
+	f := func(hive string, period float64, rawLen uint8) bool {
+		if strings.ContainsRune(hive, 0) {
+			hive = "h"
+		}
+		var buf bytes.Buffer
+		raw := make([]byte, rawLen)
+		for i := range raw {
+			raw[i] = byte(i)
+		}
+		body := Hello{HiveID: hive, WakePeriodSeconds: period, Version: 1}
+		if err := Encode(&buf, TypeHello, body, raw); err != nil {
+			return false
+		}
+		fr, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		var back Hello
+		if err := fr.Unmarshal(TypeHello, &back); err != nil {
+			return false
+		}
+		return back.HiveID == hive && bytes.Equal(fr.Raw, raw) &&
+			(period != period || back.WakePeriodSeconds == period) // NaN-safe
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for _, tt := range []Type{TypeHello, TypeWelcome, TypeSensorReport,
+		TypeAudioUpload, TypeResult, TypeAck, TypeError, TypeBye, Type(0)} {
+		if tt.String() == "" {
+			t.Fatalf("type %d has empty name", tt)
+		}
+	}
+}

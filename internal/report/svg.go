@@ -1,0 +1,158 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVG rendering: the CLIs can export publication-style figure images
+// (polyline charts with axes, ticks and a legend) without any imaging
+// dependency — SVG is plain XML.
+
+// SVGChart renders series as a scalable vector graphic.
+type SVGChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	series []Series
+}
+
+// NewSVGChart creates a chart with figure-like proportions.
+func NewSVGChart(title, xlabel, ylabel string) *SVGChart {
+	return &SVGChart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 720, Height: 440}
+}
+
+// Add appends a series.
+func (c *SVGChart) Add(s Series) { c.series = append(c.series, s) }
+
+// palette holds the line colors, chosen to stay distinguishable in
+// grayscale print.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const (
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 40
+	marginBottom = 60
+)
+
+// Render writes the SVG document.
+func (c *SVGChart) Render(w io.Writer) error {
+	if len(c.series) == 0 {
+		return errors.New("report: svg chart has no series")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	empty := true
+	for _, s := range c.series {
+		for i := range s.X {
+			empty = false
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if empty {
+		return errors.New("report: svg chart series are empty")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Pad the y range slightly so lines don't hug the frame.
+	pad := (maxY - minY) * 0.05
+	minY -= pad
+	maxY += pad
+
+	plotW := float64(c.Width - marginLeft - marginRight)
+	plotH := float64(c.Height - marginTop - marginBottom)
+	xPix := func(x float64) float64 { return marginLeft + (x-minX)/(maxX-minX)*plotW }
+	yPix := func(y float64) float64 { return marginTop + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		c.Width, c.Height, c.Width, c.Height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if c.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`+"\n",
+			c.Width/2, xmlEscape(c.Title))
+	}
+	// Frame.
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#333"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+
+	// Ticks and grid.
+	for i := 0; i <= 5; i++ {
+		fx := minX + (maxX-minX)*float64(i)/5
+		px := xPix(fx)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			px, float64(marginTop), px, float64(marginTop)+plotH)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px, float64(marginTop)+plotH+16, formatTick(fx))
+		fy := minY + (maxY-minY)*float64(i)/5
+		py := yPix(fy)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, py, float64(marginLeft)+plotW, py)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, py+4, formatTick(fy))
+	}
+
+	// Axis labels.
+	if c.XLabel != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+			marginLeft+int(plotW)/2, c.Height-14, xmlEscape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&sb, `<text x="16" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			marginTop+int(plotH)/2, marginTop+int(plotH)/2, xmlEscape(c.YLabel))
+	}
+
+	// Series polylines.
+	for si, s := range c.series {
+		color := palette[si%len(palette)]
+		var pts strings.Builder
+		for i := range s.X {
+			fmt.Fprintf(&pts, "%.1f,%.1f ", xPix(s.X[i]), yPix(s.Y[i]))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.TrimSpace(pts.String()), color)
+	}
+
+	// Legend.
+	lx, ly := marginLeft+10, marginTop+14
+	for si, s := range c.series {
+		color := palette[si%len(palette)]
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2.5"/>`+"\n",
+			lx, ly+si*18-4, lx+22, ly+si*18-4, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			lx+28, ly+si*18, xmlEscape(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func formatTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 10000:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func svgWithData(t *testing.T) *SVGChart {
+	t.Helper()
+	c := NewSVGChart("Figure 7", "clients", "J/client")
+	edge, err := NewSeries("edge", []float64{100, 500, 1000}, []float64{367.5, 367.5, 367.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := NewSeries("edge+cloud", []float64{100, 500, 1000}, []float64{470, 380, 360})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(edge)
+	c.Add(cloud)
+	return c
+}
+
+func TestSVGWellFormedXML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := svgWithData(t).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestSVGContainsExpectedElements(t *testing.T) {
+	var buf bytes.Buffer
+	if err := svgWithData(t).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "polyline", "Figure 7", "edge+cloud", "clients", "J/client",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("polylines = %d, want 2", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	c := NewSVGChart(`a < b & "c"`, "", "")
+	s, _ := NewSeries("x<y", []float64{0, 1}, []float64{0, 1})
+	c.Add(s)
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `a < b`) {
+		t.Fatal("unescaped < in title")
+	}
+	if !strings.Contains(out, "&lt;") || !strings.Contains(out, "&amp;") {
+		t.Fatal("escaping missing")
+	}
+	// Still well-formed.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("escaped SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	c := NewSVGChart("empty", "", "")
+	if err := c.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("no-series chart rendered")
+	}
+	s, _ := NewSeries("e", nil, nil)
+	c.Add(s)
+	if err := c.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty-series chart rendered")
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	c := NewSVGChart("flat", "", "")
+	s, _ := NewSeries("f", []float64{1, 2}, []float64{5, 5})
+	c.Add(s)
+	if err := c.Render(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		12345: "12345",
+		367.5: "368",
+		12.25: "12.2",
+		0.5:   "0.50",
+	}
+	for in, want := range cases {
+		if got := formatTick(in); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

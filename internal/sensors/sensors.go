@@ -1,0 +1,141 @@
+// Package sensors models the measurement hardware of the smart beehive:
+// the SHT31 temperature/humidity sensor on the queen excluder, the three
+// ±5 A current sensors on the Pi Zero's Grove hat, the USB microphones
+// and the camera module at the hive entrance.
+//
+// Each sensor samples the ground truth (hive state, electrical state)
+// with its datasheet accuracy as additive noise, and reports the read
+// latency and electrical draw that the routine model charges to the edge
+// device's energy budget.
+package sensors
+
+import (
+	"time"
+
+	"beesim/internal/hive"
+	"beesim/internal/rng"
+	"beesim/internal/units"
+)
+
+// Reading is a scalar sensor observation.
+type Reading struct {
+	Time  time.Time
+	Value float64
+	Unit  string
+}
+
+// SHT31 is the temperature/humidity sensor (datasheet: ±0.2 °C, ±2 % RH).
+type SHT31 struct {
+	TempAccuracy units.Celsius
+	RHAccuracy   float64
+	ReadLatency  time.Duration
+	Draw         units.Watts
+	r            *rng.Source
+}
+
+// NewSHT31 creates the sensor with datasheet characteristics.
+func NewSHT31(seed uint64) *SHT31 {
+	return &SHT31{
+		TempAccuracy: 0.2,
+		RHAccuracy:   0.02,
+		ReadLatency:  15 * time.Millisecond,
+		Draw:         0.005,
+		r:            rng.New(seed),
+	}
+}
+
+// Read samples the hive state.
+func (s *SHT31) Read(t time.Time, st hive.State) (temp, rh Reading) {
+	temp = Reading{
+		Time:  t,
+		Value: float64(st.InsideTemp) + s.r.Gaussian(0, float64(s.TempAccuracy)/2),
+		Unit:  "C",
+	}
+	rh = Reading{
+		Time:  t,
+		Value: float64(st.InsideHumidity.Clamp()) + s.r.Gaussian(0, s.RHAccuracy/2),
+		Unit:  "RH",
+	}
+	if rh.Value < 0 {
+		rh.Value = 0
+	}
+	if rh.Value > 1 {
+		rh.Value = 1
+	}
+	return temp, rh
+}
+
+// CurrentSensor is one ±5 A DC/AC Grove current sensor. The deployment
+// uses three: both Pis' supplies and the panel-to-battery wire.
+type CurrentSensor struct {
+	FullScale units.Amperes
+	Accuracy  units.Amperes // 1-sigma noise
+	r         *rng.Source
+}
+
+// NewCurrentSensor creates a ±5 A sensor.
+func NewCurrentSensor(seed uint64) *CurrentSensor {
+	return &CurrentSensor{FullScale: 5, Accuracy: 0.02, r: rng.New(seed)}
+}
+
+// Read samples a true current, clipping at the sensor's full scale.
+func (c *CurrentSensor) Read(t time.Time, true_ units.Amperes) Reading {
+	v := float64(true_) + c.r.Gaussian(0, float64(c.Accuracy))
+	if v > float64(c.FullScale) {
+		v = float64(c.FullScale)
+	}
+	if v < -float64(c.FullScale) {
+		v = -float64(c.FullScale)
+	}
+	return Reading{Time: t, Value: v, Unit: "A"}
+}
+
+// ReadPower converts a supply current reading at 5 V into watts, which is
+// how the deployment derives the power traces of Figure 2.
+func (c *CurrentSensor) ReadPower(t time.Time, truePower units.Watts) Reading {
+	i := units.Amperes(float64(truePower) / 5.0)
+	r := c.Read(t, i)
+	return Reading{Time: t, Value: r.Value * 5.0, Unit: "W"}
+}
+
+// Microphone is a USB microphone (20 Hz – 16 kHz response).
+type Microphone struct {
+	SampleRate int
+	Draw       units.Watts
+}
+
+// NewMicrophone returns the deployed USB microphone model sampling at the
+// paper's 22 050 Hz.
+func NewMicrophone() *Microphone {
+	return &Microphone{SampleRate: 22050, Draw: 0.25}
+}
+
+// CaptureCost returns the time and energy to record one clip of the given
+// length (three are captured simultaneously in the routine; each mic
+// draws its own power).
+func (m *Microphone) CaptureCost(clip time.Duration) (time.Duration, units.Joules) {
+	return clip, m.Draw.Energy(clip)
+}
+
+// Camera is the Raspberry Pi camera module 2 at the hive entrance.
+type Camera struct {
+	Width, Height int
+	Draw          units.Watts
+	PerShot       time.Duration
+}
+
+// NewCamera returns the module configured for the routine's 800x600
+// captures.
+func NewCamera() *Camera {
+	return &Camera{Width: 800, Height: 600, Draw: 1.2, PerShot: time.Second}
+}
+
+// BurstCost returns the time and energy for n shots spread evenly over
+// the burst (the routine takes 5 shots over 5 s).
+func (c *Camera) BurstCost(n int) (time.Duration, units.Joules) {
+	if n <= 0 {
+		return 0, 0
+	}
+	d := time.Duration(n) * c.PerShot
+	return d, c.Draw.Energy(d)
+}

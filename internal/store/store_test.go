@@ -1,0 +1,247 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2023, 4, 10, 8, 0, 0, 0, time.UTC)
+
+func sensorRec(hive string, offset time.Duration, temp float64) Record {
+	return Record{
+		Hive:   hive,
+		Time:   t0.Add(offset),
+		Kind:   KindSensor,
+		Fields: map[string]float64{"inside_temp_c": temp},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := sensorRec("h1", 0, 35)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Record{
+		{Time: t0, Kind: KindSensor},
+		{Hive: "h", Kind: KindSensor},
+		{Hive: "h", Time: t0, Kind: Kind(9)},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad record %d accepted", i)
+		}
+	}
+}
+
+func TestAppendAndQuery(t *testing.T) {
+	s := OpenMemory()
+	for i := 0; i < 10; i++ {
+		if err := s.Append(sensorRec("h1", time.Duration(i)*time.Hour, 30+float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	got, err := s.Query("h1", t0.Add(2*time.Hour), t0.Add(5*time.Hour), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("query = %d records, want 3", len(got))
+	}
+	if got[0].Fields["inside_temp_c"] != 32 {
+		t.Fatalf("first = %v", got[0].Fields)
+	}
+}
+
+func TestQueryKindFilter(t *testing.T) {
+	s := OpenMemory()
+	if err := s.Append(sensorRec("h1", 0, 35)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{
+		Hive: "h1", Time: t0.Add(time.Minute), Kind: KindResult,
+		Text: map[string]string{"verdict": "queen present"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.Query("h1", t0, t0.Add(time.Hour), KindResult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Text["verdict"] != "queen present" {
+		t.Fatalf("results = %+v", results)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	s := OpenMemory()
+	if _, err := s.Query("", t0, t0.Add(time.Hour), 0); err == nil {
+		t.Error("empty hive accepted")
+	}
+	if _, err := s.Query("h", t0.Add(time.Hour), t0, 0); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestOutOfOrderAppendsIndexedInOrder(t *testing.T) {
+	s := OpenMemory()
+	offsets := []time.Duration{3 * time.Hour, time.Hour, 2 * time.Hour}
+	for _, off := range offsets {
+		if err := s.Append(sensorRec("h1", off, off.Hours())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Query("h1", t0, t0.Add(24*time.Hour), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time.Before(got[i-1].Time) {
+			t.Fatal("query results not time-ordered")
+		}
+	}
+}
+
+func TestLatest(t *testing.T) {
+	s := OpenMemory()
+	if _, ok := s.Latest("none", 0); ok {
+		t.Fatal("latest on empty store")
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Append(sensorRec("h1", time.Duration(i)*time.Hour, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, ok := s.Latest("h1", KindSensor)
+	if !ok || rec.Fields["inside_temp_c"] != 4 {
+		t.Fatalf("latest = %+v, %v", rec, ok)
+	}
+}
+
+func TestHives(t *testing.T) {
+	s := OpenMemory()
+	for _, h := range []string{"lyon-2", "cachan-1", "lyon-1"} {
+		if err := s.Append(sensorRec(h, 0, 35)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Hives()
+	want := []string{"cachan-1", "lyon-1", "lyon-2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hives = %v", got)
+		}
+	}
+}
+
+func TestFilePersistenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "archive.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Append(sensorRec("h1", time.Duration(i)*time.Minute, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 20 {
+		t.Fatalf("reopened len = %d, want 20", re.Len())
+	}
+	// Appends continue after reopening.
+	if err := re.Append(sensorRec("h1", 21*time.Minute, 99)); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := re.Latest("h1", KindSensor)
+	if !ok || rec.Fields["inside_temp_c"] != 99 {
+		t.Fatalf("latest after reopen = %+v", rec)
+	}
+}
+
+func TestCorruptLogRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.log")
+	if err := os.WriteFile(path, []byte("not a log at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("corrupt log accepted")
+	}
+}
+
+func TestTruncatedLogRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(sensorRec("h1", 0, 35)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("truncated log accepted")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(sensorRec("h1", 0, 1)); err == nil {
+		t.Fatal("append after close accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+}
+
+func TestConcurrentAppendsAndQueries(t *testing.T) {
+	s := OpenMemory()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hive := []string{"a", "b"}[g%2]
+			for i := 0; i < 100; i++ {
+				_ = s.Append(sensorRec(hive, time.Duration(g*1000+i)*time.Second, float64(i)))
+				if i%10 == 0 {
+					_, _ = s.Query(hive, t0, t0.Add(2*time.Hour), 0)
+					_, _ = s.Latest(hive, KindSensor)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Fatalf("len = %d, want 800", s.Len())
+	}
+}

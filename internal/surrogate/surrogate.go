@@ -1,0 +1,315 @@
+// Package surrogate implements the paper's remaining future-work item:
+// "investigate the use of machine learning and deep learning models to
+// improve the simulation model".
+//
+// A Surrogate is a ridge-regression model over polynomial features of
+// the orchestration inputs (fleet size, slot capacity, loss switches)
+// that predicts the simulator's per-client energy. Once fitted on a few
+// hundred simulated points, it answers placement queries orders of
+// magnitude faster than running the allocator — useful inside an
+// optimizer or on the hive itself, where the controller has a tiny
+// compute budget. The package reports its own goodness of fit so callers
+// can decide when to fall back to the exact simulator.
+package surrogate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"beesim/internal/core"
+	"beesim/internal/rng"
+	"beesim/internal/units"
+)
+
+// Sample is one simulator evaluation.
+type Sample struct {
+	Clients     int
+	MaxParallel int
+	LossA       bool
+	LossB       bool
+	// PerClient is the simulator's edge+cloud per-client energy.
+	PerClient units.Joules
+}
+
+// featurize maps inputs to a physics-informed regression basis: the
+// simulator's per-client cost is exactly linear in servers/n (idle
+// amortization) and used-slots/n (burst energy), with loss interactions
+// scaling those same terms — so the surrogate learns the coefficients
+// instead of the structure.
+func featurize(svc core.Service, clients, maxParallel int, lossA, lossB bool) []float64 {
+	n := float64(clients)
+	c := float64(maxParallel)
+	a, b := 0.0, 0.0
+	if lossA {
+		a = 1
+	}
+	if lossB {
+		b = 1
+	}
+	spec := core.DefaultServer(maxParallel)
+	l := core.PaperLosses(lossA, lossB, false)
+	slots, err := spec.SlotsPerCycle(svc, l)
+	if err != nil || slots < 1 {
+		slots = 1
+	}
+	capacity := float64(slots * maxParallel)
+	servers := math.Ceil(n / capacity)
+	usedSlots := math.Ceil(n / c)
+	return []float64{
+		1,
+		servers / n,   // idle amortization
+		usedSlots / n, // per-slot burst amortization
+		1 / n,
+		a,
+		b,
+		a * usedSlots / n,     // saturation penalty on busy slots
+		a * servers / n,       // saturation penalty on the idle share
+		b * usedSlots / n,     // transfer penalty per slot
+		b * usedSlots * c / n, // transfer penalty scaling with occupancy
+	}
+}
+
+// Config shapes dataset generation and fitting.
+type Config struct {
+	Service core.Service
+	// ClientRange and CapacityChoices define the sampled input space.
+	ClientsFrom, ClientsTo int
+	CapacityChoices        []int
+	// Samples is the number of simulator evaluations to fit on.
+	Samples int
+	// Ridge is the L2 regularization strength.
+	Ridge float64
+	// Seed drives the sampling.
+	Seed uint64
+}
+
+// DefaultConfig samples the Figure 6-9 input space.
+func DefaultConfig(svc core.Service) Config {
+	return Config{
+		Service:         svc,
+		ClientsFrom:     10,
+		ClientsTo:       2000,
+		CapacityChoices: []int{10, 15, 20, 26, 35, 50},
+		Samples:         400,
+		Ridge:           1e-6,
+		Seed:            1,
+	}
+}
+
+// Surrogate is a fitted predictor.
+type Surrogate struct {
+	weights []float64
+	// TrainRMSE and TrainR2 describe the fit on the training set.
+	TrainRMSE float64
+	TrainR2   float64
+	svc       core.Service
+}
+
+// Fit samples the simulator and fits the ridge regression.
+func Fit(cfg Config) (*Surrogate, error) {
+	if cfg.Samples < 20 {
+		return nil, errors.New("surrogate: need at least 20 samples")
+	}
+	if cfg.ClientsFrom <= 0 || cfg.ClientsTo < cfg.ClientsFrom {
+		return nil, fmt.Errorf("surrogate: bad client range [%d,%d]", cfg.ClientsFrom, cfg.ClientsTo)
+	}
+	if len(cfg.CapacityChoices) == 0 {
+		return nil, errors.New("surrogate: no capacity choices")
+	}
+	r := rng.New(cfg.Seed)
+	samples := make([]Sample, 0, cfg.Samples)
+	for len(samples) < cfg.Samples {
+		s := Sample{
+			Clients:     cfg.ClientsFrom + r.Intn(cfg.ClientsTo-cfg.ClientsFrom+1),
+			MaxParallel: cfg.CapacityChoices[r.Intn(len(cfg.CapacityChoices))],
+			LossA:       r.Float64() < 0.5,
+			LossB:       r.Float64() < 0.5,
+		}
+		cost, err := simulate(cfg.Service, s)
+		if err != nil {
+			continue // infeasible corner (e.g. loss B slot > period); skip
+		}
+		s.PerClient = cost
+		samples = append(samples, s)
+	}
+	return FitSamples(cfg.Service, samples, cfg.Ridge)
+}
+
+// FitSamples fits the surrogate on caller-provided simulator samples.
+func FitSamples(svc core.Service, samples []Sample, ridge float64) (*Surrogate, error) {
+	if len(samples) < 20 {
+		return nil, errors.New("surrogate: need at least 20 samples")
+	}
+	if ridge < 0 {
+		return nil, errors.New("surrogate: negative ridge")
+	}
+	dim := len(featurize(svc, 1, 1, false, false))
+	// Normal equations: (X^T X + ridge I) w = X^T y.
+	xtx := make([][]float64, dim)
+	for i := range xtx {
+		xtx[i] = make([]float64, dim+1)
+	}
+	for _, s := range samples {
+		f := featurize(svc, s.Clients, s.MaxParallel, s.LossA, s.LossB)
+		y := float64(s.PerClient)
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				xtx[i][j] += f[i] * f[j]
+			}
+			xtx[i][dim] += f[i] * y
+		}
+	}
+	for i := 0; i < dim; i++ {
+		xtx[i][i] += ridge
+	}
+	w, err := solve(xtx)
+	if err != nil {
+		return nil, err
+	}
+	sur := &Surrogate{weights: w, svc: svc}
+
+	// Training diagnostics.
+	var sse, sst, mean float64
+	for _, s := range samples {
+		mean += float64(s.PerClient)
+	}
+	mean /= float64(len(samples))
+	for _, s := range samples {
+		pred := sur.predictRaw(s.Clients, s.MaxParallel, s.LossA, s.LossB)
+		d := pred - float64(s.PerClient)
+		sse += d * d
+		dm := float64(s.PerClient) - mean
+		sst += dm * dm
+	}
+	sur.TrainRMSE = math.Sqrt(sse / float64(len(samples)))
+	if sst > 0 {
+		sur.TrainR2 = 1 - sse/sst
+	} else {
+		sur.TrainR2 = 1
+	}
+	return sur, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on an
+// augmented dim x (dim+1) system.
+func solve(m [][]float64) ([]float64, error) {
+	dim := len(m)
+	for col := 0; col < dim; col++ {
+		piv := col
+		for r := col + 1; r < dim; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		m[col], m[piv] = m[piv], m[col]
+		if math.Abs(m[col][col]) < 1e-12 {
+			return nil, errors.New("surrogate: singular normal equations")
+		}
+		for r := 0; r < dim; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for k := col; k <= dim; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+		}
+	}
+	w := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		w[i] = m[i][dim] / m[i][i]
+	}
+	return w, nil
+}
+
+func (s *Surrogate) predictRaw(clients, maxParallel int, lossA, lossB bool) float64 {
+	f := featurize(s.svc, clients, maxParallel, lossA, lossB)
+	var sum float64
+	for i, w := range s.weights {
+		sum += w * f[i]
+	}
+	return sum
+}
+
+// Predict estimates the edge+cloud per-client energy for the inputs.
+func (s *Surrogate) Predict(clients, maxParallel int, lossA, lossB bool) (units.Joules, error) {
+	if clients <= 0 || maxParallel <= 0 {
+		return 0, errors.New("surrogate: non-positive inputs")
+	}
+	return units.Joules(s.predictRaw(clients, maxParallel, lossA, lossB)), nil
+}
+
+// RecommendFast answers the placement question with the surrogate: it
+// compares the (constant) edge-only per-client cost against the
+// predicted edge+cloud cost.
+func (s *Surrogate) RecommendFast(clients, maxParallel int, lossA, lossB bool) (edgeCloudWins bool, err error) {
+	pred, err := s.Predict(clients, maxParallel, lossA, lossB)
+	if err != nil {
+		return false, err
+	}
+	return pred < s.svc.EdgeOnlyCycle, nil
+}
+
+// Evaluate measures the surrogate against fresh simulator queries.
+type Evaluation struct {
+	RMSE float64
+	// MaxAbsErr is the largest absolute error seen.
+	MaxAbsErr float64
+	// DecisionAccuracy is the fraction of placement decisions the
+	// surrogate gets right versus the exact simulator.
+	DecisionAccuracy float64
+	Queries          int
+}
+
+// Evaluate runs n random held-out queries.
+func (s *Surrogate) Evaluate(cfg Config, n int, seed uint64) (Evaluation, error) {
+	if n <= 0 {
+		return Evaluation{}, errors.New("surrogate: non-positive query count")
+	}
+	r := rng.New(seed)
+	var sse, maxErr float64
+	agree, total := 0, 0
+	for total < n {
+		sample := Sample{
+			Clients:     cfg.ClientsFrom + r.Intn(cfg.ClientsTo-cfg.ClientsFrom+1),
+			MaxParallel: cfg.CapacityChoices[r.Intn(len(cfg.CapacityChoices))],
+			LossA:       r.Float64() < 0.5,
+			LossB:       r.Float64() < 0.5,
+		}
+		truth, err := simulate(cfg.Service, sample)
+		if err != nil {
+			continue
+		}
+		pred, err := s.Predict(sample.Clients, sample.MaxParallel, sample.LossA, sample.LossB)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		d := float64(pred - truth)
+		sse += d * d
+		if a := math.Abs(d); a > maxErr {
+			maxErr = a
+		}
+		if (truth < cfg.Service.EdgeOnlyCycle) == (pred < cfg.Service.EdgeOnlyCycle) {
+			agree++
+		}
+		total++
+	}
+	return Evaluation{
+		RMSE:             math.Sqrt(sse / float64(total)),
+		MaxAbsErr:        maxErr,
+		DecisionAccuracy: float64(agree) / float64(total),
+		Queries:          total,
+	}, nil
+}
+
+// simulate runs the exact simulator for one sample.
+func simulate(svc core.Service, s Sample) (units.Joules, error) {
+	l := core.PaperLosses(s.LossA, s.LossB, false)
+	cost, err := core.SimulateEdgeCloud(s.Clients, core.DefaultServer(s.MaxParallel),
+		svc, l, core.FillSequential, nil)
+	if err != nil {
+		return 0, err
+	}
+	return cost.PerClient(), nil
+}

@@ -1,0 +1,166 @@
+package surrogate
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"beesim/internal/core"
+	"beesim/internal/routine"
+)
+
+func service(t *testing.T) core.Service {
+	t.Helper()
+	svc, err := core.NewService(routine.CNN, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func fitDefault(t *testing.T) (*Surrogate, Config) {
+	t.Helper()
+	cfg := DefaultConfig(service(t))
+	s, err := Fit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, cfg
+}
+
+func TestFitValidation(t *testing.T) {
+	svc := service(t)
+	cfg := DefaultConfig(svc)
+	cfg.Samples = 5
+	if _, err := Fit(cfg); err == nil {
+		t.Error("tiny sample count accepted")
+	}
+	cfg = DefaultConfig(svc)
+	cfg.ClientsFrom = 0
+	if _, err := Fit(cfg); err == nil {
+		t.Error("zero ClientsFrom accepted")
+	}
+	cfg = DefaultConfig(svc)
+	cfg.CapacityChoices = nil
+	if _, err := Fit(cfg); err == nil {
+		t.Error("empty capacities accepted")
+	}
+	if _, err := FitSamples(svc, nil, 0.1); err == nil {
+		t.Error("no samples accepted")
+	}
+	if _, err := FitSamples(svc, make([]Sample, 30), -1); err == nil {
+		t.Error("negative ridge accepted")
+	}
+}
+
+func TestFitQuality(t *testing.T) {
+	s, _ := fitDefault(t)
+	if s.TrainR2 < 0.95 {
+		t.Fatalf("train R2 = %v, want >= 0.95", s.TrainR2)
+	}
+	// The loss-A compounding on partially filled slots is the one term
+	// the linear basis cannot express exactly; it bounds the RMSE.
+	if s.TrainRMSE > 20 {
+		t.Fatalf("train RMSE = %v J, want <= 20", s.TrainRMSE)
+	}
+}
+
+func TestHeldOutEvaluation(t *testing.T) {
+	s, cfg := fitDefault(t)
+	ev, err := s.Evaluate(cfg, 200, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Queries != 200 {
+		t.Fatalf("queries = %d", ev.Queries)
+	}
+	if ev.RMSE > 20 {
+		t.Fatalf("held-out RMSE = %v J, want <= 20", ev.RMSE)
+	}
+	if ev.DecisionAccuracy < 0.9 {
+		t.Fatalf("decision accuracy = %v, want >= 0.9", ev.DecisionAccuracy)
+	}
+}
+
+func TestPredictTracksSimulatorShape(t *testing.T) {
+	s, _ := fitDefault(t)
+	// Per-client cost must fall with fleet size at fixed capacity
+	// (amortized idle), in both the simulator and the surrogate.
+	small, err := s.Predict(100, 35, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := s.Predict(1900, 35, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large >= small {
+		t.Fatalf("surrogate not decreasing with fleet size: %v -> %v", small, large)
+	}
+}
+
+func TestRecommendFastAgreesOnClearCases(t *testing.T) {
+	s, _ := fitDefault(t)
+	// 100 clients at cap 35: clearly edge. 1900 at cap 35: clearly cloud.
+	wins, err := s.RecommendFast(100, 35, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wins {
+		t.Error("surrogate recommended cloud for 100 clients")
+	}
+	wins, err = s.RecommendFast(1900, 35, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wins {
+		t.Error("surrogate recommended edge for 1900 clients")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	s, _ := fitDefault(t)
+	if _, err := s.Predict(0, 10, false, false); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, err := s.Predict(10, 0, false, false); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	s, cfg := fitDefault(t)
+	if _, err := s.Evaluate(cfg, 0, 1); err == nil {
+		t.Error("zero queries accepted")
+	}
+}
+
+func TestLossFeaturesMatter(t *testing.T) {
+	s, _ := fitDefault(t)
+	base, err := s.Predict(500, 10, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withA, err := s.Predict(500, 10, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withB, err := s.Predict(500, 10, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(withA) <= float64(base) {
+		t.Errorf("loss A prediction %v not above base %v", withA, base)
+	}
+	if float64(withB) <= float64(base) {
+		t.Errorf("loss B prediction %v not above base %v", withB, base)
+	}
+}
+
+func TestDeterministicFit(t *testing.T) {
+	a, _ := fitDefault(t)
+	b, _ := fitDefault(t)
+	if math.Abs(a.TrainRMSE-b.TrainRMSE) > 1e-9 {
+		t.Fatal("same-seed fits differ")
+	}
+}

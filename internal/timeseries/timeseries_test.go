@@ -1,0 +1,252 @@
+package timeseries
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2023, 4, 10, 8, 0, 0, 0, time.UTC)
+
+func mk(t *testing.T, vals ...float64) *Series {
+	t.Helper()
+	s := New("power", "W")
+	for i, v := range vals {
+		if err := s.Append(t0.Add(time.Duration(i)*time.Minute), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAppendOrdering(t *testing.T) {
+	s := New("x", "")
+	if err := s.Append(t0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(t0.Add(-time.Second), 2); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+	// Equal timestamps are allowed (two sensors reporting in one instant).
+	if err := s.Append(t0, 3); err != nil {
+		t.Fatalf("equal-timestamp append rejected: %v", err)
+	}
+}
+
+func TestMustAppendPanics(t *testing.T) {
+	s := New("x", "")
+	s.MustAppend(t0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAppend out of order did not panic")
+		}
+	}()
+	s.MustAppend(t0.Add(-time.Hour), 2)
+}
+
+func TestSpanValuesLen(t *testing.T) {
+	s := mk(t, 1, 2, 3)
+	start, end := s.Span()
+	if !start.Equal(t0) || !end.Equal(t0.Add(2*time.Minute)) {
+		t.Fatalf("span = %v..%v", start, end)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	vs := s.Values()
+	if len(vs) != 3 || vs[0] != 1 || vs[2] != 3 {
+		t.Fatalf("values = %v", vs)
+	}
+}
+
+func TestEmptySpan(t *testing.T) {
+	s := New("x", "")
+	start, end := s.Span()
+	if !start.IsZero() || !end.IsZero() {
+		t.Fatal("empty span must be zero times")
+	}
+}
+
+func TestValueAtSampleAndHold(t *testing.T) {
+	s := mk(t, 10, 20, 30)
+	if _, ok := s.ValueAt(t0.Add(-time.Second)); ok {
+		t.Fatal("value before first point must not exist")
+	}
+	if v, ok := s.ValueAt(t0); !ok || v != 10 {
+		t.Fatalf("ValueAt(t0) = %v,%v", v, ok)
+	}
+	if v, _ := s.ValueAt(t0.Add(90 * time.Second)); v != 20 {
+		t.Fatalf("ValueAt(+90s) = %v, want 20 (hold)", v)
+	}
+	if v, _ := s.ValueAt(t0.Add(time.Hour)); v != 30 {
+		t.Fatalf("ValueAt(+1h) = %v, want 30", v)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := mk(t, 1, 2, 3, 4, 5)
+	sub := s.Slice(t0.Add(time.Minute), t0.Add(3*time.Minute))
+	if sub.Len() != 2 {
+		t.Fatalf("slice len = %d, want 2", sub.Len())
+	}
+	if sub.At(0).V != 2 || sub.At(1).V != 3 {
+		t.Fatalf("slice values = %v, %v", sub.At(0).V, sub.At(1).V)
+	}
+}
+
+func TestResampleMeanAndSum(t *testing.T) {
+	s := mk(t, 1, 3, 5, 7) // minutes 0..3
+	got, err := s.Resample(2*time.Minute, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.At(0).V != 2 || got.At(1).V != 6 {
+		t.Fatalf("mean resample = %v", got.Values())
+	}
+	sum, err := s.Resample(2*time.Minute, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(0).V != 4 || sum.At(1).V != 12 {
+		t.Fatalf("sum resample = %v", sum.Values())
+	}
+}
+
+func TestResampleSkipsEmptyWindows(t *testing.T) {
+	s := New("x", "")
+	s.MustAppend(t0, 1)
+	s.MustAppend(t0.Add(10*time.Minute), 2)
+	got, err := s.Resample(time.Minute, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("resample with gap produced %d windows, want 2", got.Len())
+	}
+}
+
+func TestResampleModes(t *testing.T) {
+	s := mk(t, 4, 1, 9)
+	check := func(mode Agg, want float64) {
+		t.Helper()
+		r, err := s.Resample(time.Hour, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Len() != 1 || r.At(0).V != want {
+			t.Fatalf("mode %d = %v, want %v", mode, r.Values(), want)
+		}
+	}
+	check(AggMax, 9)
+	check(AggMin, 1)
+	check(AggLast, 9)
+	check(AggCount, 3)
+}
+
+func TestResampleErrors(t *testing.T) {
+	s := mk(t, 1)
+	if _, err := s.Resample(0, AggMean); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := s.Resample(time.Minute, Agg(99)); err == nil {
+		t.Fatal("unknown aggregation accepted")
+	}
+}
+
+func TestIntegrateConstantPower(t *testing.T) {
+	// 2 W held for 60 s = 120 J.
+	s := New("power", "W")
+	s.MustAppend(t0, 2)
+	s.MustAppend(t0.Add(time.Minute), 2)
+	if e := s.Integrate(); math.Abs(e-120) > 1e-9 {
+		t.Fatalf("integral = %v, want 120", e)
+	}
+}
+
+func TestIntegrateRamp(t *testing.T) {
+	// Linear ramp 0..4 W over 10 s = 20 J.
+	s := New("power", "W")
+	s.MustAppend(t0, 0)
+	s.MustAppend(t0.Add(10*time.Second), 4)
+	if e := s.Integrate(); math.Abs(e-20) > 1e-9 {
+		t.Fatalf("integral = %v, want 20", e)
+	}
+}
+
+func TestGaps(t *testing.T) {
+	s := New("x", "")
+	s.MustAppend(t0, 1)
+	s.MustAppend(t0.Add(time.Minute), 1)
+	s.MustAppend(t0.Add(9*time.Hour), 1) // night outage
+	gaps := s.Gaps(time.Hour)
+	if len(gaps) != 1 {
+		t.Fatalf("gaps = %d, want 1", len(gaps))
+	}
+	if !gaps[0].Start.Equal(t0.Add(time.Minute)) {
+		t.Fatalf("gap start = %v", gaps[0].Start)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := mk(t, 1.5, 2.25, 3.125)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("round trip len = %d, want %d", back.Len(), s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if back.At(i).V != s.At(i).V || !back.At(i).T.Equal(s.At(i).T) {
+			t.Fatalf("point %d mismatch: %v vs %v", i, back.At(i), s.At(i))
+		}
+	}
+}
+
+func TestWriteCSVMultiSeries(t *testing.T) {
+	a := mk(t, 1, 2)
+	b := New("temp", "C")
+	b.MustAppend(t0.Add(30*time.Second), 35)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 distinct timestamps
+		t.Fatalf("csv lines = %d, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "power (W)") || !strings.Contains(lines[0], "temp (C)") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// First row: temp has no value yet.
+	if !strings.HasSuffix(lines[1], ",") {
+		t.Fatalf("expected empty temp cell in first row: %q", lines[1])
+	}
+}
+
+func TestWriteCSVNoSeries(t *testing.T) {
+	if err := WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteCSV with no series did not error")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("time,a,b\n")); err == nil {
+		t.Error("3-column CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("time,v\nnot-a-time,1\n")); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("time,v\n2023-04-10T08:00:00Z,zap\n")); err == nil {
+		t.Error("bad value accepted")
+	}
+}

@@ -1,0 +1,192 @@
+package vision
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewGrayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGray(0,5) did not panic")
+		}
+	}()
+	NewGray(0, 5)
+}
+
+func TestGraySetClamps(t *testing.T) {
+	g := NewGray(4, 4)
+	g.Set(1, 1, 2.5)
+	if g.At(1, 1) != 1 {
+		t.Fatalf("over-bright pixel = %v", g.At(1, 1))
+	}
+	g.Set(2, 2, -3)
+	if g.At(2, 2) != 0 {
+		t.Fatalf("negative pixel = %v", g.At(2, 2))
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	if _, err := Synthesize(SceneConfig{W: 8, H: 8, Bees: 1}); err == nil {
+		t.Error("tiny image accepted")
+	}
+	if _, err := Synthesize(SceneConfig{W: 100, H: 100, Bees: -1}); err == nil {
+		t.Error("negative bees accepted")
+	}
+	cfg := DefaultScene(3)
+	cfg.PollenFraction = 1.5
+	if _, err := Synthesize(cfg); err == nil {
+		t.Error("pollen fraction > 1 accepted")
+	}
+}
+
+func TestSynthesizeGroundTruth(t *testing.T) {
+	cfg := DefaultScene(8)
+	cfg.Seed = 3
+	scene, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scene.Bees) != 8 {
+		t.Fatalf("bees = %d", len(scene.Bees))
+	}
+	for _, v := range scene.Image.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v out of [0,1]", v)
+		}
+	}
+	// Bee centers must be dark, board corners bright.
+	for _, b := range scene.Bees {
+		if c := scene.Image.At(int(b.X), int(b.Y)); c > 0.5 {
+			t.Fatalf("bee center brightness %v, want dark", c)
+		}
+	}
+	if corner := scene.Image.At(2, 2); corner < 0.6 {
+		t.Fatalf("board corner brightness %v, want bright", corner)
+	}
+}
+
+func TestOtsuSeparatesBimodal(t *testing.T) {
+	g := NewGray(64, 64)
+	for i := range g.Pix {
+		if i%5 == 0 {
+			g.Pix[i] = 0.15
+		} else {
+			g.Pix[i] = 0.85
+		}
+	}
+	th := OtsuThreshold(g)
+	if th <= 0.15 || th >= 0.85 {
+		t.Fatalf("Otsu threshold = %v, want between the modes", th)
+	}
+}
+
+func TestDarkBlobsFindsSquares(t *testing.T) {
+	g := NewGray(64, 64)
+	for i := range g.Pix {
+		g.Pix[i] = 0.9
+	}
+	// Two 5x5 dark squares.
+	for _, origin := range [][2]int{{10, 10}, {40, 30}} {
+		for y := 0; y < 5; y++ {
+			for x := 0; x < 5; x++ {
+				g.Set(origin[0]+x, origin[1]+y, 0.1)
+			}
+		}
+	}
+	blobs := DarkBlobs(g, 0.5, 10, 100)
+	if len(blobs) != 2 {
+		t.Fatalf("blobs = %d, want 2", len(blobs))
+	}
+	for _, b := range blobs {
+		if b.Area != 25 {
+			t.Errorf("blob area = %d, want 25", b.Area)
+		}
+	}
+	// Centroid of the first square is (12, 12).
+	if math.Abs(blobs[0].CX-12) > 0.01 || math.Abs(blobs[0].CY-12) > 0.01 {
+		t.Errorf("centroid = (%v,%v), want (12,12)", blobs[0].CX, blobs[0].CY)
+	}
+}
+
+func TestDarkBlobsAreaFilter(t *testing.T) {
+	g := NewGray(64, 64)
+	for i := range g.Pix {
+		g.Pix[i] = 0.9
+	}
+	g.Set(5, 5, 0.1) // single dark pixel: below min area
+	blobs := DarkBlobs(g, 0.5, 5, 100)
+	if len(blobs) != 0 {
+		t.Fatalf("speck passed the area filter: %+v", blobs)
+	}
+}
+
+func TestCountBeesEmptyBoard(t *testing.T) {
+	scene, err := Synthesize(DefaultScene(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CountBees(scene.Image); n > 1 {
+		t.Fatalf("counted %d bees on an empty board", n)
+	}
+}
+
+func TestCountBeesAccuracy(t *testing.T) {
+	for _, truth := range []int{3, 8, 15} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			cfg := DefaultScene(truth)
+			cfg.Seed = seed
+			scene, err := Synthesize(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := CountBees(scene.Image)
+			tol := 1 + truth/8
+			if got < truth-tol || got > truth+tol {
+				t.Errorf("seed %d: counted %d bees, truth %d (±%d)", seed, got, truth, tol)
+			}
+		}
+	}
+}
+
+func TestDetectPollenTracksFraction(t *testing.T) {
+	// All-pollen vs no-pollen boards must separate clearly.
+	all := DefaultScene(10)
+	all.PollenFraction = 1
+	all.Seed = 5
+	none := DefaultScene(10)
+	none.PollenFraction = 0
+	none.Seed = 5
+	sceneAll, err := Synthesize(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sceneNone, err := Synthesize(none)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAll := DetectPollen(sceneAll.Image)
+	gotNone := DetectPollen(sceneNone.Image)
+	if gotAll < 6 {
+		t.Errorf("all-pollen board detected %d/10", gotAll)
+	}
+	if gotNone > 2 {
+		t.Errorf("no-pollen board detected %d false positives", gotNone)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, err := Synthesize(DefaultScene(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(DefaultScene(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Image.Pix {
+		if a.Image.Pix[i] != b.Image.Pix[i] {
+			t.Fatal("same-seed scenes differ")
+		}
+	}
+}
