@@ -1,0 +1,32 @@
+# beesim build/verify loop. Pure stdlib Go — no external tools needed.
+
+GO ?= go
+
+.PHONY: all build test vet race bench verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The protocol server and the DES engine are the concurrency-bearing
+# packages; run them under the race detector on every verify.
+race:
+	$(GO) test -race ./internal/hivenet/... ./internal/des/...
+
+# The tier-1 gate: what CI and pre-commit runs.
+verify: build vet test race
+
+# Benchmarks double as the reproduction report (paper figures as custom
+# metrics) and as the observability-overhead check (BenchmarkDESLoop*).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+obs-bench:
+	$(GO) test -run xxx -bench 'BenchmarkDESLoop' -benchtime 3000x -count 5 .

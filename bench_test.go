@@ -15,9 +15,11 @@ import (
 	"beesim/internal/adaptive"
 	"beesim/internal/audio"
 	"beesim/internal/core"
+	"beesim/internal/des"
 	"beesim/internal/dsp"
 	"beesim/internal/experiments"
 	"beesim/internal/hivenet"
+	"beesim/internal/obs"
 	"beesim/internal/optimizer"
 	"beesim/internal/power"
 	"beesim/internal/queendetect"
@@ -525,6 +527,61 @@ func BenchmarkSeasonal(b *testing.B) {
 		ratio = june / december
 	}
 	b.ReportMetric(ratio, "june_vs_december_harvest")
+}
+
+// ---------------------------------------------------------------------
+// Observability overhead (docs/OBSERVABILITY.md §overhead)
+// ---------------------------------------------------------------------
+
+// desLoop drives one simulated event loop: 1000 one-second ticks from a
+// fresh calendar. setup attaches (or not) the observability probes.
+func desLoop(b *testing.B, setup func(*des.Sim)) {
+	b.Helper()
+	start := time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < b.N; i++ {
+		s := des.New(start)
+		if setup != nil {
+			setup(s)
+		}
+		ticks := 0
+		stop, err := s.Every(time.Second, func() { ticks++ })
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Run(start.Add(1000 * time.Second))
+		stop()
+		if ticks != 1000 {
+			b.Fatalf("ticks = %d, want 1000", ticks)
+		}
+	}
+}
+
+// BenchmarkDESLoopBare is the engine with no observability pointer set —
+// the baseline all other DESLoop benchmarks are compared against.
+func BenchmarkDESLoopBare(b *testing.B) {
+	desLoop(b, nil)
+}
+
+// BenchmarkDESLoopObsDisabled measures the disabled configuration a run
+// without -metrics/-trace takes (Instrument with nil registry and
+// tracer): the acceptance bar is <= 5% over BenchmarkDESLoopBare.
+func BenchmarkDESLoopObsDisabled(b *testing.B) {
+	desLoop(b, func(s *des.Sim) { des.Instrument(s, nil, nil, false) })
+}
+
+// BenchmarkDESLoopObsMetrics measures a live registry counting every
+// scheduled/fired event (no tracing).
+func BenchmarkDESLoopObsMetrics(b *testing.B) {
+	desLoop(b, func(s *des.Sim) { des.Instrument(s, obs.NewRegistry(), nil, false) })
+}
+
+// BenchmarkDESLoopObsFullTrace measures the most expensive setting: live
+// metrics plus a per-event Chrome trace timeline.
+func BenchmarkDESLoopObsFullTrace(b *testing.B) {
+	start := time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC)
+	desLoop(b, func(s *des.Sim) {
+		des.Instrument(s, obs.NewRegistry(), obs.NewTracer(start), true)
+	})
 }
 
 // BenchmarkOptimizer searches the full orchestration grid for a

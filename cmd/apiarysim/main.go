@@ -10,6 +10,7 @@
 //	apiarysim fig8 [-loss a|b|c|all] [-csv out.csv]
 //	apiarysim fig9 [-csv out.csv]
 //	apiarysim sweep -from N -to M [-cap K] [-losses abc] [-chart]
+//	          [-metrics] [-trace out.json]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"beesim/internal/core"
 	"beesim/internal/experiments"
+	"beesim/internal/obs"
 	"beesim/internal/report"
 	"beesim/internal/routine"
 )
@@ -172,6 +174,8 @@ func sweep(args []string) error {
 	losses := fs.String("losses", "", "loss models to enable, e.g. \"abc\"")
 	balanced := fs.Bool("balanced", false, "use the balanced fill policy")
 	csvPath := fs.String("csv", "", "write the series to this CSV file")
+	metrics := fs.Bool("metrics", false, "print the sweep's metrics snapshot")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON timeline of the sweep to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -203,20 +207,51 @@ func sweep(args []string) error {
 			return fmt.Errorf("unknown loss %q", string(c))
 		}
 	}
-	pts, err := experiments.Sweep(experiments.SweepConfig{
+	sweepCfg := experiments.SweepConfig{
 		Service: svc,
 		Server:  core.DefaultServer(*maxPar),
 		Losses:  l,
 		From:    *from, To: *to, Step: *step,
 		Policy: policy,
 		Seed:   7,
-	})
+	}
+	if *metrics {
+		sweepCfg.Metrics = obs.NewRegistry()
+	}
+	if *tracePath != "" {
+		sweepCfg.Tracer = obs.NewTracer(time.Unix(0, 0).UTC())
+	}
+	pts, err := experiments.Sweep(sweepCfg)
 	if err != nil {
 		return err
 	}
 	title := fmt.Sprintf("sweep %d-%d clients, cap %d, %s, losses %q",
 		*from, *to, *maxPar, svc.Name, *losses)
-	return render(title, pts, *csvPath)
+	if err := render(title, pts, *csvPath); err != nil {
+		return err
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := sweepCfg.Tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\n%d trace events written to %s (open at ui.perfetto.dev)\n",
+			sweepCfg.Tracer.Len(), *tracePath)
+	}
+	if *metrics {
+		fmt.Printf("\nmetrics:\n")
+		if err := sweepCfg.Metrics.Snapshot().WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func render(title string, pts []experiments.SweepPoint, csvPath string) error {

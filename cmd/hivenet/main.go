@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	hivenet serve [-addr :7700] [-cap 10] [-slots 18]
+//	hivenet serve [-addr :7700] [-cap 10] [-slots 18] [-http addr] [-obs]
 //	hivenet agent -addr host:7700 [-hive cachan-1] [-cycles 3]
 //	              [-placement edge|cloud] [-state present|lost|piping]
+//
+// With -obs the server keeps a metrics registry (sessions, reports,
+// uploads, slot allocations, burst energy, HTTP request durations) and
+// the dashboard exposes snapshot endpoints at /metrics (text) and
+// /api/metrics (JSON).
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 
 	"beesim/internal/hive"
 	"beesim/internal/hivenet"
+	"beesim/internal/obs"
 	"beesim/internal/routine"
 )
 
@@ -58,6 +64,7 @@ func serve(args []string) error {
 	slots := fs.Int("slots", 18, "time slots per cycle")
 	corpus := fs.Int("corpus", 80, "training corpus size")
 	archive := fs.String("archive", "", "persist reports and verdicts to this file")
+	withObs := fs.Bool("obs", false, "keep a metrics registry and expose /metrics on the dashboard")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +74,9 @@ func serve(args []string) error {
 	cfg.TrainCorpus = *corpus
 	cfg.ArchivePath = *archive
 	cfg.Logf = log.Printf
+	if *withObs {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	s, err := hivenet.NewServer(*addr, cfg)
 	if err != nil {
 		return err

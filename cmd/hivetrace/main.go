@@ -1,12 +1,18 @@
 // Command hivetrace runs the deployed-hive simulation of Figure 2: a
 // multi-day discrete-event trace of one smart beehive (solar panel,
 // battery, weather, colony, duty-cycled recorder), printed as a summary
-// and optionally exported as CSV for plotting.
+// and optionally exported as CSV for plotting, a Chrome trace_event
+// timeline for Perfetto, and a metrics snapshot.
 //
 // Usage:
 //
 //	hivetrace [-days 7] [-wake 10m] [-site cachan|lyon] [-csv out.csv]
-//	          [-empty] [-no-brownout]
+//	          [-trace out.json] [-trace-events] [-metrics]
+//	          [-metrics-csv out.csv] [-empty] [-no-brownout]
+//
+// Traces and metrics are keyed by the virtual simulation clock, so two
+// runs with the same seed produce byte-identical exports (see
+// docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"time"
 
 	"beesim/internal/deployment"
+	"beesim/internal/obs"
+	"beesim/internal/report"
 	"beesim/internal/solar"
 	"beesim/internal/timeseries"
 )
@@ -25,6 +33,10 @@ func main() {
 	wake := flag.Duration("wake", 10*time.Minute, "recorder wake-up period")
 	site := flag.String("site", "cachan", "deployment site: cachan or lyon")
 	csvPath := flag.String("csv", "", "write the trace series to this CSV file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+	traceEvents := flag.Bool("trace-events", false, "include every DES engine event in the trace (verbose)")
+	metrics := flag.Bool("metrics", false, "print the metrics snapshot after the summary")
+	metricsCSV := flag.String("metrics-csv", "", "write the metrics snapshot to this CSV file")
 	empty := flag.Bool("empty", false, "simulate an empty hive (no colony yet)")
 	noBrownout := flag.Bool("no-brownout", false, "disable the night bus brownout")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -46,6 +58,13 @@ func main() {
 	}
 	if *empty {
 		cfg.Colony.Population = 0
+	}
+	if *metrics || *metricsCSV != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *tracePath != "" {
+		cfg.Tracer = obs.NewTracer(cfg.Start)
+		cfg.TraceEngineEvents = *traceEvents
 	}
 
 	tr, err := deployment.Run(cfg)
@@ -82,18 +101,60 @@ func main() {
 	}
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hivetrace:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		err = timeseries.WriteCSV(f, tr.RecorderPower, tr.PanelPower, tr.BatterySoC,
-			tr.InsideTemp, tr.InsideHumidity, tr.OutsideTemp, tr.OutsideHumidity)
+		err := writeFile(*csvPath, func(f *os.File) error {
+			return timeseries.WriteCSV(f, tr.RecorderPower, tr.PanelPower, tr.BatterySoC,
+				tr.InsideTemp, tr.InsideHumidity, tr.OutsideTemp, tr.OutsideHumidity)
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hivetrace:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("\n  trace written to %s\n", *csvPath)
 	}
+
+	if *tracePath != "" {
+		err := writeFile(*tracePath, func(f *os.File) error {
+			return cfg.Tracer.WriteJSON(f)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hivetrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n  %d trace events written to %s (open at ui.perfetto.dev)\n",
+			cfg.Tracer.Len(), *tracePath)
+	}
+
+	if *metricsCSV != "" {
+		err := writeFile(*metricsCSV, func(f *os.File) error {
+			return report.WriteMetricsCSV(f, cfg.Metrics.Snapshot())
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hivetrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n  metrics written to %s\n", *metricsCSV)
+	}
+
+	if *metrics {
+		fmt.Printf("\nmetrics:\n")
+		if err := cfg.Metrics.Snapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "hivetrace:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeFile creates path, runs write, and closes the file, reporting
+// the first error — including the close error, which is where a full
+// disk or failing flush would otherwise vanish silently.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"beesim/internal/obs"
 	"beesim/internal/units"
 )
 
@@ -57,6 +58,40 @@ type Battery struct {
 	totalIn  units.Joules
 	totalOut units.Joules
 	cutoffs  int
+
+	// Observability probes; all nil-safe no-ops until Instrument.
+	mChargeJ    *obs.Counter
+	mDischargeJ *obs.Counter
+	mCutoffs    *obs.Counter
+	gSoC        *obs.Gauge
+	tr          *obs.Tracer
+	clock       func() time.Time
+}
+
+// Metric names emitted by an instrumented battery.
+const (
+	MetricChargeJ    = "battery_charge_j_total"
+	MetricDischargeJ = "battery_discharge_j_total"
+	MetricCutoffs    = "battery_cutoffs_total"
+	MetricSoC        = "battery_soc"
+)
+
+// Instrument attaches metrics and trace probes. clock supplies the
+// virtual timestamp for trace events (pass the simulation's Now); trace
+// events are skipped when either tr or clock is nil. Charge/discharge
+// energy, cutoff counts, and the state of charge become visible in the
+// registry; cutoff and reconnect transitions (the paper's brownouts)
+// appear as instants on the power track.
+func (b *Battery) Instrument(m *obs.Registry, tr *obs.Tracer, clock func() time.Time) {
+	b.mChargeJ = m.Counter(MetricChargeJ)
+	b.mDischargeJ = m.Counter(MetricDischargeJ)
+	b.mCutoffs = m.Counter(MetricCutoffs)
+	b.gSoC = m.Gauge(MetricSoC)
+	b.gSoC.Set(b.SoC())
+	if clock != nil {
+		b.tr = tr
+		b.clock = clock
+	}
 }
 
 // New creates a battery at the given initial state of charge (0..1).
@@ -116,8 +151,14 @@ func (b *Battery) Charge(p units.Watts, d time.Duration) units.Joules {
 	}
 	b.stored += stored.WattHours()
 	b.totalIn += stored
+	b.mChargeJ.Add(float64(stored))
+	b.gSoC.Set(b.SoC())
 	if b.cut && b.SoC() >= b.cfg.ReconnectFraction {
 		b.cut = false
+		if b.tr != nil {
+			b.tr.Instant("battery reconnect", "battery", obs.TidPower, b.clock(),
+				map[string]any{"soc": b.SoC()})
+		}
 	}
 	return stored
 }
@@ -141,6 +182,8 @@ func (b *Battery) Discharge(p units.Watts, d time.Duration) time.Duration {
 		b.stored -= need.WattHours()
 		delivered := units.Joules(float64(need) * b.cfg.DischargeEfficiency)
 		b.totalOut += delivered
+		b.mDischargeJ.Add(float64(delivered))
+		b.gSoC.Set(b.SoC())
 		if b.SoC() <= b.cfg.CutoffFraction {
 			b.openProtection()
 		}
@@ -149,7 +192,10 @@ func (b *Battery) Discharge(p units.Watts, d time.Duration) time.Duration {
 	// Partial interval until cutoff.
 	frac := float64(available) / float64(need)
 	b.stored -= available.WattHours()
-	b.totalOut += units.Joules(float64(available) * b.cfg.DischargeEfficiency)
+	delivered := units.Joules(float64(available) * b.cfg.DischargeEfficiency)
+	b.totalOut += delivered
+	b.mDischargeJ.Add(float64(delivered))
+	b.gSoC.Set(b.SoC())
 	b.openProtection()
 	return time.Duration(float64(d) * frac)
 }
@@ -158,5 +204,10 @@ func (b *Battery) openProtection() {
 	if !b.cut {
 		b.cut = true
 		b.cutoffs++
+		b.mCutoffs.Inc()
+		if b.tr != nil {
+			b.tr.Instant("battery cutoff", "battery", obs.TidPower, b.clock(),
+				map[string]any{"soc": b.SoC()})
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"beesim/internal/des"
 	"beesim/internal/hive"
 	"beesim/internal/netsim"
+	"beesim/internal/obs"
 	"beesim/internal/power"
 	"beesim/internal/sensors"
 	"beesim/internal/solar"
@@ -48,6 +49,19 @@ type Config struct {
 	// batteries and the electronics").
 	NightBrownout bool
 	Seed          uint64
+
+	// Metrics, when non-nil, receives counters/gauges/histograms from
+	// the engine, battery, uplink and routine probes (see
+	// docs/OBSERVABILITY.md for the name reference).
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records the run as a Chrome trace_event
+	// timeline keyed by virtual time: per-wakeup routine spans with
+	// joules, uplink transfer spans, battery brownout instants and a
+	// state-of-charge counter track.
+	Tracer *obs.Tracer
+	// TraceEngineEvents additionally records every DES scheduled/fired/
+	// cancelled event as an instant (verbose; off by default).
+	TraceEngineEvents bool
 }
 
 // DefaultConfig reproduces the Figure 2 setting: a week in Cachan at a
@@ -97,6 +111,17 @@ type Trace struct {
 	HarvestedEnergy units.Joules
 }
 
+// Metric names emitted by an instrumented deployment run.
+const (
+	MetricWakeups       = "deployment_wakeups_total"
+	MetricMissedWakeups = "deployment_missed_wakeups_total"
+	MetricOutages       = "deployment_outages_total"
+	MetricHarvestJ      = "deployment_harvest_j_total"
+	MetricRecorderJ     = "deployment_recorder_j_total"
+	MetricMonitorJ      = "deployment_monitor_j_total"
+	MetricRoutineSecs   = "deployment_routine_seconds"
+)
+
 // Run executes the deployment simulation.
 func Run(cfg Config) (*Trace, error) {
 	if cfg.Days <= 0 {
@@ -137,11 +162,31 @@ func Run(cfg Config) (*Trace, error) {
 		PanelPower:      timeseries.New("panel power", "W"),
 	}
 
+	// Observability: attach the engine, battery and uplink probes, label
+	// the trace tracks, and build the deployment's own instruments. With
+	// cfg.Metrics and cfg.Tracer nil this is all wired to no-ops.
+	des.Instrument(sim, cfg.Metrics, cfg.Tracer, cfg.TraceEngineEvents)
+	pack.Instrument(cfg.Metrics, cfg.Tracer, sim.Now)
+	link.Instrument(cfg.Metrics, cfg.Tracer, sim.Now)
+	if cfg.Tracer != nil {
+		cfg.Tracer.SetThreadName(obs.TidRoutine, "recorder routine")
+		cfg.Tracer.SetThreadName(obs.TidPower, "power")
+		cfg.Tracer.SetThreadName(obs.TidNetwork, "uplink")
+	}
+	mWakeups := cfg.Metrics.Counter(MetricWakeups)
+	mMissed := cfg.Metrics.Counter(MetricMissedWakeups)
+	mOutages := cfg.Metrics.Counter(MetricOutages)
+	mHarvest := cfg.Metrics.Counter(MetricHarvestJ)
+	mRecorder := cfg.Metrics.Counter(MetricRecorderJ)
+	mMonitor := cfg.Metrics.Counter(MetricMonitorJ)
+	hRoutine := cfg.Metrics.Histogram(MetricRoutineSecs, obs.DefaultSecondsBuckets())
+
 	systemUp := true
 	routineUntil := cfg.Start // recorder is active until this time
 	send := pi.SendAudio()
 	routineTask := pi.Routine()
 	fixedDur := routineTask.Duration - send.Duration
+	fixedEnergy := routineTask.Energy - send.Energy
 
 	// Environment tick: harvest, draw the always-on loads, record.
 	envTick := func() {
@@ -152,7 +197,9 @@ func Run(cfg Config) (*Trace, error) {
 
 		// Harvest into the battery over the interval.
 		if pv > 0 {
-			tr.HarvestedEnergy += pack.Charge(pv, cfg.SampleEvery)
+			got := pack.Charge(pv, cfg.SampleEvery)
+			tr.HarvestedEnergy += got
+			mHarvest.Add(float64(got))
 		}
 
 		wasUp := systemUp
@@ -163,6 +210,8 @@ func Run(cfg Config) (*Trace, error) {
 		}
 		if wasUp && !systemUp {
 			tr.Outages++
+			mOutages.Inc()
+			cfg.Tracer.Instant("outage", "deployment", obs.TidPower, now, nil)
 		}
 
 		if systemUp {
@@ -174,11 +223,17 @@ func Run(cfg Config) (*Trace, error) {
 			load := zero.ActivePower + recorderPower
 			sustained := pack.Discharge(load, cfg.SampleEvery)
 			frac := float64(sustained) / float64(cfg.SampleEvery)
-			tr.MonitorEnergy += units.Joules(float64(zero.ActivePower.Energy(cfg.SampleEvery)) * frac)
-			tr.RecorderEnergy += units.Joules(float64(recorderPower.Energy(cfg.SampleEvery)) * frac)
+			monJ := units.Joules(float64(zero.ActivePower.Energy(cfg.SampleEvery)) * frac)
+			recJ := units.Joules(float64(recorderPower.Energy(cfg.SampleEvery)) * frac)
+			tr.MonitorEnergy += monJ
+			tr.RecorderEnergy += recJ
+			mMonitor.Add(float64(monJ))
+			mRecorder.Add(float64(recJ))
 			if sustained < cfg.SampleEvery {
 				systemUp = false
 				tr.Outages++
+				mOutages.Inc()
+				cfg.Tracer.Instant("outage", "deployment", obs.TidPower, now, nil)
 			} else {
 				tr.RecorderPower.MustAppend(now, float64(recorderPower))
 			}
@@ -188,6 +243,11 @@ func Run(cfg Config) (*Trace, error) {
 		tr.OutsideHumidity.MustAppend(now, float64(sample.Humidity))
 		tr.BatterySoC.MustAppend(now, pack.SoC())
 		tr.PanelPower.MustAppend(now, float64(pv))
+		cfg.Tracer.Sample("hive power", obs.TidPower, now, map[string]any{
+			"battery_soc":  pack.SoC(),
+			"panel_watts":  float64(pv),
+			"irradiance_w": float64(irr),
+		})
 	}
 
 	// Wake-up tick: the Pi Zero signals the Pi 3B+ over GPIO.
@@ -195,12 +255,23 @@ func Run(cfg Config) (*Trace, error) {
 		now := sim.Now()
 		if !systemUp {
 			tr.MissedWakeups++
+			mMissed.Inc()
+			cfg.Tracer.Instant("missed wake-up", "deployment", obs.TidRoutine, now, nil)
 			return
 		}
 		tr.Wakeups++
+		mWakeups.Inc()
 		// Routine duration varies with the link (Section IV).
 		transfer := link.Send(netsim.RoutinePayload())
-		routineUntil = now.Add(fixedDur + transfer.Duration)
+		routineDur := fixedDur + transfer.Duration
+		routineUntil = now.Add(routineDur)
+		hRoutine.Observe(routineDur.Seconds())
+		cfg.Tracer.Span("wake-up routine", "deployment", obs.TidRoutine, now, routineDur,
+			map[string]any{
+				"joules":         float64(fixedEnergy) + float64(send.Power().Energy(transfer.Duration)),
+				"transfer_bytes": int64(transfer.Payload),
+				"transfer_us":    transfer.Duration.Microseconds(),
+			})
 
 		// Sensor readings at the queen excluder.
 		st := colony.StateAt(wx.At(now))

@@ -1,0 +1,134 @@
+package deployment
+
+import (
+	"bytes"
+	"testing"
+
+	"beesim/internal/battery"
+	"beesim/internal/des"
+	"beesim/internal/netsim"
+	"beesim/internal/obs"
+)
+
+// instrumentedRun executes a short deployment with full observability
+// and returns the trace, the serialized timeline and the serialized
+// metrics snapshot.
+func instrumentedRun(t *testing.T) (*Trace, []byte, []byte) {
+	t.Helper()
+	cfg := shortCfg()
+	cfg.Days = 1
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Tracer = obs.NewTracer(cfg.Start)
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var timeline, snap bytes.Buffer
+	if err := cfg.Tracer.WriteJSON(&timeline); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Metrics.Snapshot().WriteJSON(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return tr, timeline.Bytes(), snap.Bytes()
+}
+
+func TestInstrumentedRunIsByteDeterministic(t *testing.T) {
+	// The acceptance bar for the telemetry layer: equal-seed runs must
+	// serialize to byte-identical traces and snapshots, because both are
+	// keyed by virtual time only.
+	_, trace1, snap1 := instrumentedRun(t)
+	_, trace2, snap2 := instrumentedRun(t)
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatal("equal-seed runs produced different trace bytes")
+	}
+	if !bytes.Equal(snap1, snap2) {
+		t.Fatal("equal-seed runs produced different metric snapshots")
+	}
+}
+
+func TestMetricsAgreeWithTrace(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Days = 1
+	cfg.Metrics = obs.NewRegistry()
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cfg.Metrics
+	if got := m.Counter(MetricWakeups).Value(); got != float64(tr.Wakeups) {
+		t.Fatalf("wakeups counter %v != trace %d", got, tr.Wakeups)
+	}
+	if got := m.Counter(MetricMissedWakeups).Value(); got != float64(tr.MissedWakeups) {
+		t.Fatalf("missed counter %v != trace %d", got, tr.MissedWakeups)
+	}
+	if got := m.Counter(MetricOutages).Value(); got != float64(tr.Outages) {
+		t.Fatalf("outages counter %v != trace %d", got, tr.Outages)
+	}
+	if got := m.Histogram(MetricRoutineSecs, nil).Count(); got != uint64(tr.Wakeups) {
+		t.Fatalf("routine histogram count %d != wakeups %d", got, tr.Wakeups)
+	}
+	// The probe counters accumulate the same joules the trace reports
+	// (within float tolerance of the repeated additions).
+	closeTo := func(a, b float64) bool {
+		diff := a - b
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-6*(1+b)
+	}
+	if got := m.Counter(MetricHarvestJ).Value(); !closeTo(got, float64(tr.HarvestedEnergy)) {
+		t.Fatalf("harvest counter %v != trace %v", got, tr.HarvestedEnergy)
+	}
+	if got := m.Counter(MetricRecorderJ).Value(); !closeTo(got, float64(tr.RecorderEnergy)) {
+		t.Fatalf("recorder counter %v != trace %v", got, tr.RecorderEnergy)
+	}
+	// Engine, battery and uplink probes must all have fired.
+	for _, name := range []string{
+		des.MetricEventsFired,
+		battery.MetricDischargeJ,
+		battery.MetricChargeJ,
+		netsim.MetricTransfers,
+	} {
+		if m.Counter(name).Value() <= 0 {
+			t.Fatalf("probe counter %q never incremented", name)
+		}
+	}
+}
+
+func TestTraceContainsDeploymentSpans(t *testing.T) {
+	tr, timeline, _ := instrumentedRun(t)
+	if tr.Wakeups == 0 {
+		t.Fatal("run had no wakeups; trace test is vacuous")
+	}
+	for _, want := range []string{
+		`"wake-up routine"`,  // per-wakeup spans
+		`"uplink transfer"`,  // netsim spans
+		`"hive power"`,       // SoC/panel counter track
+		`"outage"`,           // power instants
+		`"recorder routine"`, // thread names
+	} {
+		if !bytes.Contains(timeline, []byte(want)) {
+			t.Fatalf("timeline missing %s", want)
+		}
+	}
+}
+
+func TestUninstrumentedRunUnchangedByProbes(t *testing.T) {
+	// Wiring the probes must not perturb the simulation itself: the
+	// physics outputs with and without observability are identical.
+	cfg := shortCfg()
+	cfg.Days = 1
+	bare, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, _, _ := instrumentedRun(t) // same config plus registry+tracer
+	if bare.Wakeups != instr.Wakeups ||
+		bare.MissedWakeups != instr.MissedWakeups ||
+		bare.Outages != instr.Outages ||
+		bare.RecorderEnergy != instr.RecorderEnergy ||
+		bare.HarvestedEnergy != instr.HarvestedEnergy {
+		t.Fatal("probe wiring changed simulation results")
+	}
+}

@@ -72,6 +72,7 @@ type Sim struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+	o       *simObs // nil unless Instrument was called
 }
 
 // New creates a simulation whose clock starts at the given virtual time.
@@ -98,6 +99,9 @@ func (s *Sim) At(t time.Time, fn func()) (*Event, error) {
 	e := &Event{at: t, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.queue, e)
+	if s.o != nil {
+		s.o.eventScheduled(s, e)
+	}
 	return e, nil
 }
 
@@ -149,10 +153,16 @@ func (s *Sim) Step() bool {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*Event)
 		if e.cancel {
+			if s.o != nil {
+				s.o.eventCancelled(s, e)
+			}
 			continue
 		}
 		s.now = e.at
 		s.fired++
+		if s.o != nil {
+			s.o.eventFired(s, e)
+		}
 		e.fn()
 		return true
 	}
@@ -192,6 +202,9 @@ func (s *Sim) peek() *Event {
 			return e
 		}
 		heap.Pop(&s.queue)
+		if s.o != nil {
+			s.o.eventCancelled(s, e)
+		}
 	}
 	return nil
 }
@@ -200,19 +213,36 @@ func (s *Sim) peek() *Event {
 // models things like "boot, collect for 64 s, transfer, shut down" without
 // goroutines, keeping the engine single-threaded and deterministic.
 type Process struct {
-	sim  *Sim
-	done bool
+	sim   *Sim
+	done  bool
+	name  string
+	stage int
 }
 
 // NewProcess creates a process bound to the simulation.
 func NewProcess(s *Sim) *Process { return &Process{sim: s} }
 
+// NewNamedProcess creates a process whose stages appear as spans in the
+// simulation's trace (if one is attached via Instrument).
+func NewNamedProcess(s *Sim, name string) *Process { return &Process{sim: s, name: name} }
+
 // Then schedules the next stage after d. Chained stages run sequentially:
 // each stage receives the process so it can schedule its successor.
 // Calling Then on a finished process is a no-op returning an error.
 func (p *Process) Then(d time.Duration, stage func(*Process)) error {
+	return p.ThenNamed("", d, stage)
+}
+
+// ThenNamed is Then with a label: on an instrumented simulation the
+// stage appears as a [now, now+d) span in the trace, named after the
+// process (and the label, when given).
+func (p *Process) ThenNamed(label string, d time.Duration, stage func(*Process)) error {
 	if p.done {
 		return errors.New("des: process already finished")
+	}
+	if p.sim.o != nil && p.name != "" {
+		p.stage++
+		p.sim.o.processStage(p.sim, p.name, label, p.stage, d)
 	}
 	_, err := p.sim.After(d, func() {
 		if !p.done {

@@ -11,6 +11,7 @@ import (
 
 	"beesim/internal/core"
 	"beesim/internal/netsim"
+	"beesim/internal/obs"
 	"beesim/internal/power"
 	"beesim/internal/report"
 	"beesim/internal/rng"
@@ -165,7 +166,23 @@ type SweepConfig struct {
 	Step     int
 	Policy   core.FillPolicy
 	Seed     uint64
+
+	// Metrics, when non-nil, counts evaluated points and observes the
+	// per-client energies of both scenarios.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records one span per sweep point on a
+	// synthetic timeline (1 ms per point from the Unix epoch) so a whole
+	// sweep can be profiled in Perfetto: span args carry clients, both
+	// per-client energies and the server count.
+	Tracer *obs.Tracer
 }
+
+// Metric names emitted by an instrumented sweep.
+const (
+	MetricSweepPoints = "experiments_sweep_points_total"
+	MetricSweepEdgeJ  = "experiments_sweep_edge_j_per_client"
+	MetricSweepCloudJ = "experiments_sweep_cloud_j_per_client"
+)
 
 // Sweep evaluates both scenarios across a client range.
 func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
@@ -179,6 +196,13 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 	if cfg.Losses.ClientLossFrac > 0 {
 		r = rng.New(cfg.Seed)
 	}
+	mPoints := cfg.Metrics.Counter(MetricSweepPoints)
+	jBuckets := []float64{100, 150, 200, 250, 300, 350, 400, 500, 750, 1000}
+	hEdgeJ := cfg.Metrics.Histogram(MetricSweepEdgeJ, jBuckets)
+	hCloudJ := cfg.Metrics.Histogram(MetricSweepCloudJ, jBuckets)
+	// The sweep has no virtual clock of its own; points land on a
+	// synthetic 1 ms-per-point timeline so traces stay deterministic.
+	epoch := time.Unix(0, 0).UTC()
 	var out []SweepPoint
 	for n := cfg.From; n <= cfg.To; n += cfg.Step {
 		edge, err := core.SimulateEdgeOnly(n, cfg.Service, cfg.Losses, r)
@@ -189,6 +213,17 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 		if err != nil {
 			return nil, err
 		}
+		mPoints.Inc()
+		hEdgeJ.Observe(float64(edge.PerClient()))
+		hCloudJ.Observe(float64(ec.PerClient()))
+		cfg.Tracer.Span(fmt.Sprintf("sweep point %d clients", n), "sweep", obs.TidEngine,
+			epoch.Add(time.Duration(len(out))*time.Millisecond), time.Millisecond,
+			map[string]any{
+				"clients":        n,
+				"edge_j_client":  float64(edge.PerClient()),
+				"cloud_j_client": float64(ec.PerClient()),
+				"servers":        ec.Servers,
+			})
 		out = append(out, SweepPoint{Clients: n, EdgeOnly: edge, EdgeCloud: ec})
 	}
 	return out, nil

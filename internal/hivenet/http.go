@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"beesim/internal/obs"
 	"beesim/internal/store"
 )
 
@@ -20,6 +21,9 @@ import (
 type Dashboard struct {
 	srv *Server
 	mux *http.ServeMux
+
+	// Request metrics; nil-safe no-ops when the server has no registry.
+	gInFlight *obs.Gauge
 }
 
 // NewDashboard wraps a server with its HTTP monitoring surface:
@@ -28,18 +32,82 @@ type Dashboard struct {
 //	GET /api/stats   server counters (JSON)
 //	GET /api/hives   known hive ids (JSON)
 //	GET /api/records?hive=ID[&kind=sensor|result][&hours=N]
+//	GET /api/metrics metrics registry snapshot (JSON; 404 when disabled)
+//	GET /metrics     metrics registry snapshot (text; 404 when disabled)
+//
+// When the server was configured with a metrics registry, every request
+// is counted and timed (hivenet_http_requests_total.<handler>,
+// hivenet_http_request_seconds.<handler>) and the in-flight gauge
+// hivenet_http_in_flight tracks concurrency.
 func NewDashboard(srv *Server) *Dashboard {
-	d := &Dashboard{srv: srv, mux: http.NewServeMux()}
-	d.mux.HandleFunc("/", d.handleIndex)
-	d.mux.HandleFunc("/api/stats", d.handleStats)
-	d.mux.HandleFunc("/api/hives", d.handleHives)
-	d.mux.HandleFunc("/api/records", d.handleRecords)
+	d := &Dashboard{
+		srv:       srv,
+		mux:       http.NewServeMux(),
+		gInFlight: srv.Metrics().Gauge(MetricHTTPInFlight),
+	}
+	d.mux.HandleFunc("/", d.instrument("index", d.handleIndex))
+	d.mux.HandleFunc("/api/stats", d.instrument("stats", d.handleStats))
+	d.mux.HandleFunc("/api/hives", d.instrument("hives", d.handleHives))
+	d.mux.HandleFunc("/api/records", d.instrument("records", d.handleRecords))
+	d.mux.HandleFunc("/api/metrics", d.instrument("metrics", d.handleMetricsJSON))
+	d.mux.HandleFunc("/metrics", d.instrument("metrics", d.handleMetricsText))
 	return d
+}
+
+// instrument wraps a handler with request counting, wall-clock duration
+// observation and in-flight tracking. With observability disabled every
+// probe is a nil no-op and only the time.Since call remains.
+func (d *Dashboard) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	m := d.srv.Metrics()
+	requests := m.Counter(MetricHTTPRequests + "." + name)
+	seconds := m.Histogram(MetricHTTPSeconds+"."+name, obs.DefaultSecondsBuckets())
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		d.gInFlight.Add(1)
+		defer func() {
+			d.gInFlight.Add(-1)
+			requests.Inc()
+			seconds.Observe(time.Since(start).Seconds())
+		}()
+		h(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
 func (d *Dashboard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	d.mux.ServeHTTP(w, r)
+}
+
+func (d *Dashboard) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	m := d.srv.Metrics()
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if m == nil {
+		http.Error(w, "metrics disabled (start the server with a registry)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := m.Snapshot().WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (d *Dashboard) handleMetricsText(w http.ResponseWriter, r *http.Request) {
+	m := d.srv.Metrics()
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if m == nil {
+		http.Error(w, "metrics disabled (start the server with a registry)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := m.Snapshot().WriteText(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,168 @@
+package hivenet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"beesim/internal/hive"
+	"beesim/internal/obs"
+)
+
+func metricsDashboard(t *testing.T) (*Dashboard, *Server, *obs.Registry) {
+	t.Helper()
+	cfg := DefaultServerConfig()
+	cfg.Metrics = obs.NewRegistry()
+	s := startServer(t, cfg)
+	agent, err := Dial(s.Addr(), DefaultAgentConfig("obs-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agent.Close() })
+	if _, err := agent.RunCycle(hive.QueenPresent, 0.6, time.Now().UTC()); err != nil {
+		t.Fatal(err)
+	}
+	return NewDashboard(s), s, cfg.Metrics
+}
+
+func TestServerSessionMetrics(t *testing.T) {
+	_, _, m := metricsDashboard(t)
+	if got := m.Counter(MetricUploads).Value(); got != 1 {
+		t.Fatalf("uploads counter = %v, want 1", got)
+	}
+	if got := m.Counter(MetricReports).Value(); got != 1 {
+		t.Fatalf("reports counter = %v, want 1 (the sensor report)", got)
+	}
+	if got := m.Counter(MetricSessions).Value(); got != 1 {
+		t.Fatalf("sessions counter = %v, want 1", got)
+	}
+	if got := m.Counter(MetricSlotAssigns).Value(); got != 1 {
+		t.Fatalf("slot assignments = %v, want 1", got)
+	}
+	if got := m.Counter(MetricBurstJ).Value(); got <= 0 {
+		t.Fatalf("burst energy counter = %v, want > 0", got)
+	}
+	if got := m.Gauge(MetricClientsLive).Value(); got != 1 {
+		t.Fatalf("connected-clients gauge = %v, want 1 while the agent is up", got)
+	}
+}
+
+func TestMetricsEndpoints(t *testing.T) {
+	d, _, _ := metricsDashboard(t)
+
+	rec := httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/api/metrics status = %d", rec.Code)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/api/metrics is not valid JSON: %v", err)
+	}
+	found := map[string]float64{}
+	for _, c := range snap.Counters {
+		found[c.Name] = c.Value
+	}
+	if found[MetricUploads] != 1 {
+		t.Fatalf("JSON snapshot uploads = %v (counters: %v)", found[MetricUploads], found)
+	}
+	// The request that served the snapshot is itself instrumented.
+	rec = httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		MetricHTTPRequests + ".metrics",
+		MetricHTTPSeconds + ".metrics",
+		MetricHTTPInFlight,
+		MetricUploads,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics text missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsEndpointsDisabled(t *testing.T) {
+	s := startServer(t, DefaultServerConfig()) // no registry
+	d := NewDashboard(s)
+	for _, path := range []string{"/metrics", "/api/metrics"} {
+		rec := httptest.NewRecorder()
+		d.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("%s status = %d without a registry, want 404", path, rec.Code)
+		}
+	}
+}
+
+func TestMetricsSnapshotConcurrencySafe(t *testing.T) {
+	// Regression test for the snapshot endpoint under concurrent load:
+	// scrapers hitting /metrics and /api/metrics while live sessions and
+	// other handlers mutate the registry. Run with -race this proves the
+	// whole pipe (atomic instruments -> snapshot -> export) is safe.
+	d, s, m := metricsDashboard(t)
+
+	var wg sync.WaitGroup
+	paths := []string{"/metrics", "/api/metrics", "/api/stats", "/api/hives", "/"}
+	for i := 0; i < 4; i++ {
+		for _, p := range paths {
+			wg.Add(1)
+			go func(path string) {
+				defer wg.Done()
+				for j := 0; j < 25; j++ {
+					rec := httptest.NewRecorder()
+					d.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+					if rec.Code != http.StatusOK {
+						t.Errorf("%s status = %d", path, rec.Code)
+						return
+					}
+				}
+			}(p)
+		}
+	}
+	// Live protocol traffic mutating the same registry concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		agent, err := Dial(s.Addr(), DefaultAgentConfig("obs-2"))
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		defer agent.Close()
+		for j := 0; j < 5; j++ {
+			if _, err := agent.RunCycle(hive.QueenPresent, 0.6, time.Now().UTC()); err != nil {
+				t.Errorf("cycle: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// After the storm: in-flight back to zero, request counters account
+	// for every scrape.
+	if got := m.Gauge(MetricHTTPInFlight).Value(); got != 0 {
+		t.Fatalf("in-flight gauge = %v after all requests returned", got)
+	}
+	var scrapes float64
+	for _, name := range []string{"index", "stats", "hives", "metrics"} {
+		scrapes += m.Counter(MetricHTTPRequests + "." + name).Value()
+	}
+	if scrapes < float64(4*len(paths)*25) {
+		t.Fatalf("request counters total %v, want >= %d", scrapes, 4*len(paths)*25)
+	}
+	if got := m.Counter(MetricUploads).Value(); got != 6 {
+		t.Fatalf("uploads = %v after concurrent cycles, want 6", got)
+	}
+}

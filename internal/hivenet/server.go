@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"beesim/internal/audio"
+	"beesim/internal/obs"
 	"beesim/internal/power"
 	"beesim/internal/proto"
 	"beesim/internal/queendetect"
@@ -46,7 +47,26 @@ type ServerConfig struct {
 	// a file-backed store (the paper's "remote data storage"); empty uses
 	// an in-memory archive.
 	ArchivePath string
+	// Metrics, when non-nil, receives the server's session/report/upload
+	// counters, slot gauges and energy totals, and enables the
+	// dashboard's /metrics and /api/metrics snapshot endpoints.
+	Metrics *obs.Registry
 }
+
+// Metric names emitted by an instrumented server.
+const (
+	MetricSessions     = "hivenet_sessions_total"
+	MetricReports      = "hivenet_reports_total"
+	MetricUploads      = "hivenet_uploads_total"
+	MetricSessionErrs  = "hivenet_session_errors_total"
+	MetricSlotAssigns  = "hivenet_slot_assignments_total"
+	MetricSlotRejects  = "hivenet_slot_rejections_total"
+	MetricBurstJ       = "hivenet_burst_energy_j_total"
+	MetricClientsLive  = "hivenet_clients_connected"
+	MetricHTTPInFlight = "hivenet_http_in_flight"
+	MetricHTTPRequests = "hivenet_http_requests_total"
+	MetricHTTPSeconds  = "hivenet_http_request_seconds"
+)
 
 // DefaultServerConfig mirrors the paper's Figure-6 setting with a small
 // training corpus.
@@ -78,6 +98,16 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 	started  time.Time
+
+	// Observability probes; nil-safe no-ops when cfg.Metrics is nil.
+	mSessions    *obs.Counter
+	mReports     *obs.Counter
+	mUploads     *obs.Counter
+	mSessionErrs *obs.Counter
+	mSlotAssigns *obs.Counter
+	mSlotRejects *obs.Counter
+	mBurstJ      *obs.Counter
+	gClients     *obs.Gauge
 }
 
 // NewServer trains the detection model and binds a listener on addr
@@ -123,9 +153,22 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		archive:  archive,
 		slotLoad: make([]int, cfg.Slots),
 		started:  time.Now(),
+
+		mSessions:    cfg.Metrics.Counter(MetricSessions),
+		mReports:     cfg.Metrics.Counter(MetricReports),
+		mUploads:     cfg.Metrics.Counter(MetricUploads),
+		mSessionErrs: cfg.Metrics.Counter(MetricSessionErrs),
+		mSlotAssigns: cfg.Metrics.Counter(MetricSlotAssigns),
+		mSlotRejects: cfg.Metrics.Counter(MetricSlotRejects),
+		mBurstJ:      cfg.Metrics.Counter(MetricBurstJ),
+		gClients:     cfg.Metrics.Gauge(MetricClientsLive),
 	}
 	return s, nil
 }
+
+// Metrics returns the registry the server was configured with (nil when
+// observability is disabled).
+func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 
 // Archive exposes the server's data store for queries.
 func (s *Server) Archive() *store.Store { return s.archive }
@@ -154,7 +197,10 @@ func (s *Server) Serve() error {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			s.gClients.Add(1)
+			defer s.gClients.Add(-1)
 			if err := s.handle(conn); err != nil && err != io.EOF {
+				s.mSessionErrs.Inc()
 				s.logf("session error: %v", err)
 			}
 		}()
@@ -251,6 +297,7 @@ func (s *Server) handle(conn net.Conn) error {
 	s.mu.Lock()
 	s.sessions++
 	s.mu.Unlock()
+	s.mSessions.Inc()
 	if err := proto.Encode(conn, proto.TypeWelcome,
 		proto.Welcome{Slot: slot, MaxParallel: s.cfg.MaxParallel}, nil); err != nil {
 		return err
@@ -287,6 +334,7 @@ func (s *Server) handle(conn net.Conn) error {
 			s.mu.Lock()
 			s.reports++
 			s.mu.Unlock()
+			s.mReports.Inc()
 			if err := proto.Encode(conn, proto.TypeAck, nil, nil); err != nil {
 				return err
 			}
@@ -315,6 +363,7 @@ func (s *Server) handle(conn net.Conn) error {
 			s.mu.Lock()
 			s.uploads++
 			s.mu.Unlock()
+			s.mUploads.Inc()
 			res := proto.Result{
 				HiveID:       up.HiveID,
 				Time:         up.Time,
@@ -337,6 +386,7 @@ func (s *Server) handle(conn net.Conn) error {
 			s.mu.Lock()
 			s.reports++
 			s.mu.Unlock()
+			s.mReports.Inc()
 			if err := proto.Encode(conn, proto.TypeAck, nil, nil); err != nil {
 				return err
 			}
@@ -362,6 +412,7 @@ func (s *Server) assignSlot() (int, error) {
 		idx := (s.nextSlot + i) % s.cfg.Slots
 		if s.slotLoad[idx] < s.cfg.MaxParallel {
 			s.slotLoad[idx]++
+			s.mSlotAssigns.Inc()
 			if s.slotLoad[idx] == s.cfg.MaxParallel {
 				s.nextSlot = (idx + 1) % s.cfg.Slots
 			} else {
@@ -370,6 +421,7 @@ func (s *Server) assignSlot() (int, error) {
 			return idx, nil
 		}
 	}
+	s.mSlotRejects.Inc()
 	return 0, errors.New("hivenet: server full (all slots at capacity)")
 }
 
@@ -405,4 +457,5 @@ func (s *Server) accountUpload() {
 	s.mu.Lock()
 	s.energy += recvExtra + execExtra
 	s.mu.Unlock()
+	s.mBurstJ.Add(float64(recvExtra + execExtra))
 }

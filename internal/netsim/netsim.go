@@ -13,6 +13,7 @@ import (
 	"errors"
 	"time"
 
+	"beesim/internal/obs"
 	"beesim/internal/rng"
 	"beesim/internal/units"
 )
@@ -74,6 +75,38 @@ func DefaultConfig() Config {
 type Link struct {
 	cfg Config
 	r   *rng.Source
+
+	// Observability probes; all nil-safe no-ops until Instrument.
+	mTransfers *obs.Counter
+	mBytes     *obs.Counter
+	mTxEnergy  *obs.Counter
+	hSeconds   *obs.Histogram
+	tr         *obs.Tracer
+	clock      func() time.Time
+}
+
+// Metric names emitted by an instrumented link.
+const (
+	MetricTransfers       = "netsim_transfers_total"
+	MetricBytes           = "netsim_bytes_total"
+	MetricTxEnergyJ       = "netsim_tx_energy_j_total"
+	MetricTransferSeconds = "netsim_transfer_seconds"
+)
+
+// Instrument attaches metrics and trace probes. clock supplies the
+// virtual start time of each transfer (pass the simulation's Now);
+// trace spans are skipped when either tr or clock is nil. Each Send
+// then counts the transfer, its payload bytes and radio energy,
+// observes its duration, and appears as a span on the network track.
+func (l *Link) Instrument(m *obs.Registry, tr *obs.Tracer, clock func() time.Time) {
+	l.mTransfers = m.Counter(MetricTransfers)
+	l.mBytes = m.Counter(MetricBytes)
+	l.mTxEnergy = m.Counter(MetricTxEnergyJ)
+	l.hSeconds = m.Histogram(MetricTransferSeconds, obs.DefaultSecondsBuckets())
+	if clock != nil {
+		l.tr = tr
+		l.clock = clock
+	}
 }
 
 // NewLink creates a link from the configuration.
@@ -111,12 +144,24 @@ func (l *Link) Send(payload Bytes) Transfer {
 	}
 	d := l.cfg.SetupTime +
 		time.Duration(float64(payload)/tput*float64(time.Second))
-	return Transfer{
+	t := Transfer{
 		Payload:     payload,
 		Duration:    d,
 		Throughput:  tput,
 		ExtraEnergy: l.cfg.TxPower.Energy(d),
 	}
+	l.mTransfers.Inc()
+	l.mBytes.Add(float64(payload))
+	l.mTxEnergy.Add(float64(t.ExtraEnergy))
+	l.hSeconds.Observe(d.Seconds())
+	if l.tr != nil {
+		l.tr.Span("uplink transfer", "net", obs.TidNetwork, l.clock(), d, map[string]any{
+			"bytes":        int64(payload),
+			"throughput_b": tput,
+			"tx_joules":    float64(t.ExtraEnergy),
+		})
+	}
+	return t
 }
 
 // ExpectedDuration returns the transfer time at exactly the nominal

@@ -1,0 +1,230 @@
+// Package obs is beesim's observability layer: a metrics registry
+// (counters, gauges, fixed-bucket histograms) and a discrete-event
+// tracer that together make the paper's accounting — joules per task,
+// seconds per routine, losses per allocation round — visible *inside* a
+// run instead of only as end-of-run summaries.
+//
+// The package is stdlib-only and designed to cost nothing when unused:
+// every instrument is nil-safe (methods on a nil *Counter, *Gauge,
+// *Histogram or *Tracer are no-ops), so instrumented packages hold the
+// probes unconditionally and skip all branching in the disabled case.
+// The enabled hot path is lock-free (atomics); only registration and
+// snapshotting take a lock.
+//
+// Determinism matters here: snapshots are sorted by name and the tracer
+// is keyed by virtual simulation time, so two runs with the same seed
+// produce byte-identical exports — which is what makes energy-model
+// regressions diffable in CI.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64 metric. Increments are
+// atomic; a nil counter ignores all operations.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increases the counter by v. Negative or NaN deltas are ignored to
+// keep counters monotone.
+func (c *Counter) Add(v float64) {
+	if c == nil || v <= 0 || math.IsNaN(v) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total (0 for a nil counter).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a float64 metric that can move both ways. A nil gauge
+// ignores all operations.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by v.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations <= bounds[i]; one implicit overflow bucket catches the
+// rest. Non-finite observations are dropped (and counted separately) so
+// a stray NaN cannot poison the sum. A nil histogram ignores all
+// operations.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	counts  []atomic.Uint64
+	sum     atomic.Uint64 // float64 bits
+	count   atomic.Uint64
+	dropped atomic.Uint64 // non-finite observations
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.dropped.Add(1)
+		return
+	}
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Count returns the number of accepted observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of accepted observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Dropped returns the number of non-finite observations rejected.
+func (h *Histogram) Dropped() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.dropped.Load()
+}
+
+// DefaultSecondsBuckets suit task and transfer durations in seconds:
+// sub-second service handling up to multi-minute routines.
+func DefaultSecondsBuckets() []float64 {
+	return []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 10, 15, 20, 30, 60, 120, 300}
+}
+
+// Registry holds named instruments. The zero value is not usable;
+// create one with NewRegistry. A nil *Registry hands out nil
+// instruments, so "no registry" disables a package's probes without any
+// call-site branching.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending upper bounds on first use (later calls reuse the original
+// buckets). A nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		bs := make([]float64, len(bounds))
+		copy(bs, bounds)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+		r.hists[name] = h
+	}
+	return h
+}

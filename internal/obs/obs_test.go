@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	c.Add(-1) // counters are monotone: negative deltas ignored
+	c.Add(math.NaN())
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter after bad adds = %v, want 3.5", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	var tr *Tracer
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if got := r.Counter("x"); got != nil {
+		t.Fatal("nil registry must hand out nil counters")
+	}
+	if got := r.Gauge("x"); got != nil {
+		t.Fatal("nil registry must hand out nil gauges")
+	}
+	if got := r.Histogram("x", nil); got != nil {
+		t.Fatal("nil registry must hand out nil histograms")
+	}
+	if !r.Snapshot().Empty() {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	tr.Span("s", "c", 0, timeEpoch(), 0, nil)
+	tr.Instant("i", "c", 0, timeEpoch(), nil)
+	tr.Sample("v", 0, timeEpoch(), nil)
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer must record nothing")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 0.9, 3, 7, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5 (non-finite dropped)", got)
+	}
+	if got := h.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	if got := h.Sum(); got != 111.4 {
+		t.Fatalf("sum = %v, want 111.4", got)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot has %d histograms", len(snap.Histograms))
+	}
+	counts := map[string]uint64{}
+	for _, b := range snap.Histograms[0].Buckets {
+		counts[b.LE] = b.Count
+	}
+	want := map[string]uint64{"1": 2, "5": 1, "10": 1, "+Inf": 1}
+	for le, n := range want {
+		if counts[le] != n {
+			t.Fatalf("bucket le=%s count = %d, want %d (all: %v)", le, counts[le], n, counts)
+		}
+	}
+}
+
+func TestRegistryReusesByName(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name must return the same counter")
+	}
+	if r.Histogram("h", []float64{1}) != r.Histogram("h", []float64{2}) {
+		t.Fatal("same name must return the same histogram")
+	}
+}
+
+func TestSnapshotSortedAndDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		r.Counter("zeta").Add(1)
+		r.Counter("alpha").Add(2)
+		r.Gauge("mid").Set(3)
+		r.Histogram("h", []float64{1, 2}).Observe(1.5)
+		return r.Snapshot()
+	}
+	s := build()
+	if s.Counters[0].Name != "alpha" || s.Counters[1].Name != "zeta" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical registries must export identical JSON")
+	}
+	if !json.Valid(a.Bytes()) {
+		t.Fatal("snapshot JSON is invalid")
+	}
+	var text bytes.Buffer
+	if err := s.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"counter", "alpha", "gauge", "mid", "histogram", "le=2"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text snapshot missing %q:\n%s", want, text.String())
+		}
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c")
+			h := r.Histogram("h", []float64{10, 100})
+			g := r.Gauge("g")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 150))
+				g.Add(1)
+				r.Snapshot() // concurrent readers must be safe too
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %v, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Fatalf("gauge = %v, want 8000", got)
+	}
+}

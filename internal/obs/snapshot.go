@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+)
+
+// MetricSnap is one counter or gauge value at snapshot time.
+type MetricSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// BucketSnap is one histogram bucket: the count of observations at or
+// below the upper bound. LE renders the bound ("+Inf" for the overflow
+// bucket) so the snapshot survives JSON, which cannot encode infinity.
+type BucketSnap struct {
+	UpperBound float64 `json:"-"`
+	LE         string  `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// HistogramSnap is one histogram at snapshot time.
+type HistogramSnap struct {
+	Name    string       `json:"name"`
+	Count   uint64       `json:"count"`
+	Sum     float64      `json:"sum"`
+	Dropped uint64       `json:"dropped,omitempty"`
+	Buckets []BucketSnap `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by metric name
+// so exports are deterministic and diffable.
+type Snapshot struct {
+	Counters   []MetricSnap    `json:"counters"`
+	Gauges     []MetricSnap    `json:"gauges"`
+	Histograms []HistogramSnap `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values. A nil registry yields
+// an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, MetricSnap{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, MetricSnap{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnap{
+			Name:    name,
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Dropped: h.Dropped(),
+		}
+		for i := range h.counts {
+			bound := math.Inf(1)
+			if i < len(h.bounds) {
+				bound = h.bounds[i]
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnap{
+				UpperBound: bound,
+				LE:         formatBound(bound),
+				Count:      h.counts[i].Load(),
+			})
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Empty reports whether the snapshot holds no metrics at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// WriteJSON writes the snapshot as one JSON object.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText writes an aligned human-readable snapshot: one line per
+// counter and gauge, histograms with their bucket ladders.
+func (s Snapshot) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(tw, "counter\t%s\t%s\n", c.Name, formatValue(c.Value)); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(tw, "gauge\t%s\t%s\n", g.Name, formatValue(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(tw, "histogram\t%s\tcount=%d sum=%s\n",
+			h.Name, h.Count, formatValue(h.Sum)); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			if b.Count == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(tw, "\t  le=%s\t%d\n", b.LE, b.Count); err != nil {
+				return err
+			}
+		}
+		if h.Dropped > 0 {
+			if _, err := fmt.Fprintf(tw, "\t  dropped(non-finite)\t%d\n", h.Dropped); err != nil {
+				return err
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

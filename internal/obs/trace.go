@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records a timeline in the Chrome trace_event format, loadable
+// in chrome://tracing and Perfetto (ui.perfetto.dev). Timestamps are
+// derived from the *virtual* simulation clock relative to a fixed
+// epoch, never from the wall clock, so traces from two runs with the
+// same seed are byte-identical.
+//
+// Tracks are addressed by (pid, tid); beesim uses a single pid and one
+// tid per subsystem (see the Tid* constants). A nil *Tracer ignores all
+// operations, so instrumented code can hold one unconditionally.
+type Tracer struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	events []TraceEvent
+}
+
+// Conventional trace tracks for beesim subsystems. Callers may use any
+// tid; these keep the per-package probes on consistent rows.
+const (
+	TidEngine  = 0 // DES event loop
+	TidRoutine = 1 // edge wake-up routines
+	TidPower   = 2 // battery / solar
+	TidNetwork = 3 // uplink transfers
+	TidServer  = 4 // cloud service
+)
+
+// TraceEvent is one Chrome trace_event entry. Fields map 1:1 onto the
+// JSON the Trace Event Format specifies; Args must hold only
+// JSON-marshalable, deterministic values.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"` // microseconds since the trace epoch
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer creates a tracer whose timestamps count microseconds from
+// epoch (use the simulation's start time).
+func NewTracer(epoch time.Time) *Tracer {
+	return &Tracer{epoch: epoch}
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+func (t *Tracer) append(e TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+func (t *Tracer) ts(at time.Time) int64 { return at.Sub(t.epoch).Microseconds() }
+
+// Span records a complete ("X") event covering [start, start+d) in
+// virtual time.
+func (t *Tracer) Span(name, cat string, tid int, start time.Time, d time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	dur := d.Microseconds()
+	if dur < 1 {
+		dur = 1 // Perfetto drops zero-width slices; keep them visible
+	}
+	t.append(TraceEvent{Name: name, Cat: cat, Phase: "X", TS: t.ts(start), Dur: dur, PID: 1, TID: tid, Args: args})
+}
+
+// Instant records a zero-duration ("i") event at the given virtual time.
+func (t *Tracer) Instant(name, cat string, tid int, at time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{Name: name, Cat: cat, Phase: "i", TS: t.ts(at), PID: 1, TID: tid, Args: args})
+}
+
+// Sample records a counter ("C") event: Perfetto renders each key of
+// values as a stacked counter track, ideal for battery state of charge
+// or queue depths over virtual time.
+func (t *Tracer) Sample(name string, tid int, at time.Time, values map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{Name: name, Phase: "C", TS: t.ts(at), PID: 1, TID: tid, Args: values})
+}
+
+// SetThreadName labels a tid's track in the trace viewer.
+func (t *Tracer) SetThreadName(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{
+		Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// WriteJSON writes the trace in the Chrome trace_event JSON object
+// format. Events appear in recording order; encoding/json sorts arg
+// maps by key, so output bytes are deterministic for a deterministic
+// event sequence.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`+"\n")
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	for i, e := range t.events {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

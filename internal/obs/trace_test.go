@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func timeEpoch() time.Time { return time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC) }
+
+func buildTrace() *Tracer {
+	tr := NewTracer(timeEpoch())
+	tr.SetThreadName(TidRoutine, "routine")
+	tr.Span("wake-up", "deployment", TidRoutine, timeEpoch().Add(10*time.Minute),
+		90*time.Second, map[string]any{"joules": 190.1, "bytes": int64(2_225_000)})
+	tr.Instant("cutoff", "battery", TidPower, timeEpoch().Add(20*time.Hour),
+		map[string]any{"soc": 0.05})
+	tr.Sample("hive power", TidPower, timeEpoch().Add(time.Minute),
+		map[string]any{"battery_soc": 0.8})
+	return tr
+}
+
+func TestTracerWritesValidChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    int64          `json:"ts"`
+			Dur   int64          `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	span := doc.TraceEvents[1]
+	if span.Phase != "X" || span.Name != "wake-up" {
+		t.Fatalf("unexpected span event: %+v", span)
+	}
+	if want := (10 * time.Minute).Microseconds(); span.TS != want {
+		t.Fatalf("span ts = %d, want %d (virtual-time keyed)", span.TS, want)
+	}
+	if want := (90 * time.Second).Microseconds(); span.Dur != want {
+		t.Fatalf("span dur = %d, want %d", span.Dur, want)
+	}
+	if doc.TraceEvents[2].Phase != "i" || doc.TraceEvents[3].Phase != "C" {
+		t.Fatalf("phases wrong: %+v", doc.TraceEvents)
+	}
+}
+
+func TestTracerDeterministicBytes(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildTrace().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildTrace().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical event sequences must serialize to identical bytes")
+	}
+}
+
+func TestTracerZeroDurationSpanStaysVisible(t *testing.T) {
+	tr := NewTracer(timeEpoch())
+	tr.Span("blip", "", 0, timeEpoch(), 0, nil)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"dur":1`)) {
+		t.Fatalf("zero-duration span should clamp to 1us: %s", buf.String())
+	}
+}
+
+func TestNilTracerWritesEmptyTrace(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil tracer output invalid: %s", buf.String())
+	}
+}

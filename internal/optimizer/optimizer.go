@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"beesim/internal/core"
+	"beesim/internal/obs"
 	"beesim/internal/routine"
 	"beesim/internal/services"
 	"beesim/internal/units"
@@ -43,7 +44,19 @@ type Options struct {
 	Periods []time.Duration
 	// Capacities are the candidate per-slot client capacities.
 	Capacities []int
+	// Metrics, when non-nil, receives the search's candidate/infeasible
+	// counters, the per-hive energy histogram over feasible candidates,
+	// and the frontier-size gauge.
+	Metrics *obs.Registry
 }
+
+// Metric names emitted by an instrumented search.
+const (
+	MetricCandidates   = "optimizer_candidates_total"
+	MetricInfeasible   = "optimizer_infeasible_total"
+	MetricFrontierSize = "optimizer_frontier_size"
+	MetricPerHiveJ     = "optimizer_perhive_j"
+)
 
 // DefaultOptions search the paper's studied space.
 func DefaultOptions() Options {
@@ -103,6 +116,11 @@ func Optimize(req Requirements, opts Options) (Result, error) {
 		return Result{}, errors.New("optimizer: empty search space")
 	}
 
+	mCandidates := opts.Metrics.Counter(MetricCandidates)
+	mInfeasible := opts.Metrics.Counter(MetricInfeasible)
+	hPerHive := opts.Metrics.Histogram(MetricPerHiveJ,
+		[]float64{50, 100, 150, 200, 250, 300, 350, 400, 500, 750, 1000})
+
 	var res Result
 	var feasible []Candidate
 	for _, period := range opts.Periods {
@@ -111,11 +129,13 @@ func Optimize(req Requirements, opts Options) (Result, error) {
 		}
 		for _, maxPar := range opts.Capacities {
 			res.Evaluated++
+			mCandidates.Inc()
 			bundle := services.Bundle{Kinds: req.Services, Period: period}
 			plan, err := services.PlanBundle(bundle, req.Hives,
 				core.DefaultServer(maxPar), req.Losses)
 			if err != nil {
 				res.Infeasible++
+				mInfeasible.Inc()
 				continue
 			}
 			cand := Candidate{
@@ -129,6 +149,7 @@ func Optimize(req Requirements, opts Options) (Result, error) {
 			if cand.anyCloud() {
 				cand.Servers = serversFor(req, period, maxPar)
 			}
+			hPerHive.Observe(float64(cand.PerHive))
 			feasible = append(feasible, cand)
 		}
 	}
@@ -168,6 +189,7 @@ func Optimize(req Requirements, opts Options) (Result, error) {
 		res.Frontier = append(res.Frontier, c)
 		bestSoFar = c.PerDay
 	}
+	opts.Metrics.Gauge(MetricFrontierSize).Set(float64(len(res.Frontier)))
 	return res, nil
 }
 

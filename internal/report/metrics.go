@@ -1,0 +1,60 @@
+package report
+
+// CSV export for obs metric snapshots, so a run's counters can land in
+// the same spreadsheet as its timeseries.
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"beesim/internal/obs"
+)
+
+// WriteMetricsCSV writes a metrics snapshot as CSV with the columns
+// type,name,key,value. Counters and gauges take one row each (empty
+// key); histograms take one row per populated bucket (key "le:<bound>")
+// plus "count", "sum" and, when any samples were rejected, "dropped"
+// rows. Rows follow the snapshot's name-sorted order, so output is
+// deterministic.
+func WriteMetricsCSV(w io.Writer, s obs.Snapshot) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"type", "name", "key", "value"}); err != nil {
+		return err
+	}
+	fv := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	uv := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for _, c := range s.Counters {
+		if err := cw.Write([]string{"counter", c.Name, "", fv(c.Value)}); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := cw.Write([]string{"gauge", g.Name, "", fv(g.Value)}); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := cw.Write([]string{"histogram", h.Name, "count", uv(h.Count)}); err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"histogram", h.Name, "sum", fv(h.Sum)}); err != nil {
+			return err
+		}
+		if h.Dropped > 0 {
+			if err := cw.Write([]string{"histogram", h.Name, "dropped", uv(h.Dropped)}); err != nil {
+				return err
+			}
+		}
+		for _, b := range h.Buckets {
+			if b.Count == 0 {
+				continue
+			}
+			if err := cw.Write([]string{"histogram", h.Name, "le:" + b.LE, uv(b.Count)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

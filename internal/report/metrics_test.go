@@ -1,0 +1,145 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+
+	"beesim/internal/obs"
+)
+
+func TestWriteSeriesCSVEscaping(t *testing.T) {
+	// Series names with commas, quotes and newlines must round-trip
+	// through a standard CSV reader unchanged.
+	hostile := []string{`edge, cloud`, `the "winner"`, "multi\nline"}
+	a, _ := NewSeries(hostile[0], []float64{1, 2}, []float64{10, 20})
+	b, _ := NewSeries(hostile[1], []float64{1, 2}, []float64{30, 40})
+	c, _ := NewSeries(hostile[2], []float64{1, 2}, []float64{50, 60})
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, "x,axis", a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV does not parse back: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	wantHeader := []string{"x,axis", hostile[0], hostile[1], hostile[2]}
+	for i, want := range wantHeader {
+		if rows[0][i] != want {
+			t.Fatalf("header[%d] = %q, want %q", i, rows[0][i], want)
+		}
+	}
+	if rows[1][1] != "10" || rows[2][3] != "60" {
+		t.Fatalf("data rows corrupted: %v", rows[1:])
+	}
+}
+
+func TestWriteMetricsCSV(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("battery_discharge_j_total").Add(42.5)
+	r.Counter(`odd "name", with comma`).Inc()
+	r.Gauge("battery_soc").Set(0.8)
+	h := r.Histogram("routine_seconds", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(math.NaN()) // dropped
+	var buf bytes.Buffer
+	if err := WriteMetricsCSV(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("metrics CSV does not parse back: %v", err)
+	}
+	if got := rows[0]; strings.Join(got, "|") != "type|name|key|value" {
+		t.Fatalf("header = %v", got)
+	}
+	find := func(typ, name, key string) string {
+		for _, row := range rows[1:] {
+			if row[0] == typ && row[1] == name && row[2] == key {
+				return row[3]
+			}
+		}
+		t.Fatalf("no row %s/%s/%s in:\n%s", typ, name, key, buf.String())
+		return ""
+	}
+	if v := find("counter", "battery_discharge_j_total", ""); v != "42.5" {
+		t.Fatalf("counter value = %q", v)
+	}
+	if v := find("counter", `odd "name", with comma`, ""); v != "1" {
+		t.Fatalf("escaped counter value = %q", v)
+	}
+	if v := find("gauge", "battery_soc", ""); v != "0.8" {
+		t.Fatalf("gauge value = %q", v)
+	}
+	if v := find("histogram", "routine_seconds", "count"); v != "2" {
+		t.Fatalf("histogram count = %q", v)
+	}
+	if v := find("histogram", "routine_seconds", "dropped"); v != "1" {
+		t.Fatalf("histogram dropped = %q", v)
+	}
+	if v := find("histogram", "routine_seconds", "le:1"); v != "1" {
+		t.Fatalf("le:1 bucket = %q", v)
+	}
+	if v := find("histogram", "routine_seconds", "le:10"); v != "1" {
+		t.Fatalf("le:10 bucket = %q", v)
+	}
+}
+
+func TestWriteMetricsCSVDeterministic(t *testing.T) {
+	build := func() obs.Snapshot {
+		r := obs.NewRegistry()
+		r.Counter("zz").Inc()
+		r.Counter("aa").Inc()
+		r.Gauge("mm").Set(1)
+		return r.Snapshot()
+	}
+	var a, b bytes.Buffer
+	if err := WriteMetricsCSV(&a, build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsCSV(&b, build()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("metrics CSV must be byte-deterministic")
+	}
+}
+
+func TestChartSkipsNonFinitePoints(t *testing.T) {
+	// A stray NaN or Inf sample must neither panic (int(NaN) as a grid
+	// index) nor poison the axis ranges; the finite points still plot.
+	c := NewChart("robust", "x", "y")
+	s, _ := NewSeries("edge",
+		[]float64{1, 2, math.NaN(), 4, 5},
+		[]float64{10, math.Inf(1), 30, math.Inf(-1), 50})
+	c.Add(s)
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatalf("chart with mixed finite/non-finite points failed: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("finite points did not plot:\n%s", out)
+	}
+	// Axis labels must come from the finite points only (max y = 50).
+	if !strings.Contains(out, "50") || strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Fatalf("axis range poisoned by non-finite samples:\n%s", out)
+	}
+}
+
+func TestChartAllNonFiniteIsError(t *testing.T) {
+	c := NewChart("empty", "", "")
+	s, _ := NewSeries("bad",
+		[]float64{math.NaN(), math.Inf(1)},
+		[]float64{math.NaN(), math.Inf(-1)})
+	c.Add(s)
+	if err := c.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("chart with no finite points must refuse to render")
+	}
+}

@@ -122,18 +122,24 @@ func (c *Chart) Render(w io.Writer) error {
 	if len(c.series) == 0 {
 		return errors.New("report: chart has no series")
 	}
+	// Only finite points participate: a stray NaN or Inf sample must not
+	// poison the axis ranges (NaN comparisons) or the grid indexing
+	// (int(NaN) is platform-defined and panics as an index).
 	minX, maxX := math.Inf(1), math.Inf(-1)
 	minY, maxY := math.Inf(1), math.Inf(-1)
 	empty := true
 	for _, s := range c.series {
 		for i := range s.X {
+			if !isFinite(s.X[i]) || !isFinite(s.Y[i]) {
+				continue
+			}
 			empty = false
 			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
 			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
 		}
 	}
 	if empty {
-		return errors.New("report: chart series are empty")
+		return errors.New("report: chart series have no finite points")
 	}
 	if maxX == minX {
 		maxX = minX + 1
@@ -148,6 +154,9 @@ func (c *Chart) Render(w io.Writer) error {
 	for si, s := range c.series {
 		m := markers[si%len(markers)]
 		for i := range s.X {
+			if !isFinite(s.X[i]) || !isFinite(s.Y[i]) {
+				continue
+			}
 			col := int((s.X[i] - minX) / (maxX - minX) * float64(c.Width-1))
 			row := int((s.Y[i] - minY) / (maxY - minY) * float64(c.Height-1))
 			grid[c.Height-1-row][col] = m
@@ -190,6 +199,8 @@ func (c *Chart) Render(w io.Writer) error {
 	_, err := fmt.Fprintln(w)
 	return err
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // WriteSeriesCSV writes series sharing an x column to w. All series must
 // have identical x values.

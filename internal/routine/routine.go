@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"beesim/internal/netsim"
+	"beesim/internal/obs"
 	"beesim/internal/power"
 	"beesim/internal/stats"
 	"beesim/internal/units"
@@ -101,6 +102,27 @@ func (c Cycle) TotalEnergy() units.Joules { return c.EdgeEnergy() + c.CloudEnerg
 func (c Cycle) Duration() time.Duration {
 	_, d := power.Sum(c.EdgeTasks)
 	return d
+}
+
+// Trace emits the cycle's task timelines into tr starting at start: the
+// edge tasks on the routine track and the cloud tasks on the server
+// track, each span carrying its joules and mean watts. This is Table
+// I/II as a timeline — load the JSON in Perfetto to see the shutdown
+// split of the edge+cloud scenario. A nil tracer is a no-op.
+func (c Cycle) Trace(tr *obs.Tracer, start time.Time) {
+	traceTasks(tr, "edge", obs.TidRoutine, start, c.EdgeTasks)
+	traceTasks(tr, "cloud", obs.TidServer, start, c.CloudTasks)
+}
+
+func traceTasks(tr *obs.Tracer, cat string, tid int, start time.Time, tasks []power.Task) {
+	at := start
+	for _, t := range tasks {
+		tr.Span(t.Name, cat, tid, at, t.Duration, map[string]any{
+			"joules": float64(t.Energy),
+			"watts":  float64(t.Power()),
+		})
+		at = at.Add(t.Duration)
+	}
 }
 
 // Build assembles the cycle for a spec from the calibrated device models.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"beesim/internal/dsp"
+	"beesim/internal/obs"
 )
 
 // Piping parameters: queen toots center near 400 Hz.
@@ -125,6 +126,30 @@ type Predictor struct {
 	risk float64
 	last time.Time
 	seen bool
+
+	// Observability probes; all nil-safe no-ops until Instrument.
+	mObs    *obs.Counter
+	mAlarms *obs.Counter
+	gRisk   *obs.Gauge
+	hPiping *obs.Histogram
+}
+
+// Metric names emitted by an instrumented predictor.
+const (
+	MetricObservations = "swarm_observations_total"
+	MetricAlarms       = "swarm_alarms_total"
+	MetricRisk         = "swarm_risk"
+	MetricPipingScore  = "swarm_piping_score"
+)
+
+// Instrument attaches metrics probes: observation and alarm-transition
+// counters, the live risk gauge, and a piping-score histogram.
+func (p *Predictor) Instrument(m *obs.Registry) {
+	p.mObs = m.Counter(MetricObservations)
+	p.mAlarms = m.Counter(MetricAlarms)
+	p.gRisk = m.Gauge(MetricRisk)
+	p.hPiping = m.Histogram(MetricPipingScore,
+		[]float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9})
 }
 
 // NewPredictor creates a predictor.
@@ -139,24 +164,32 @@ func NewPredictor(cfg PredictorConfig) (*Predictor, error) {
 }
 
 // Observe folds one cycle in and returns the updated risk.
-func (p *Predictor) Observe(obs Observation) float64 {
+func (p *Predictor) Observe(ob Observation) float64 {
+	wasAlarm := p.Alarm()
 	if p.seen {
-		if dt := obs.Time.Sub(p.last); dt > 0 {
+		if dt := ob.Time.Sub(p.last); dt > 0 {
 			decay := math.Exp(-math.Ln2 * dt.Hours() / p.cfg.HalfLife.Hours())
 			p.risk *= decay
 		}
 	}
-	p.last = obs.Time
+	p.last = ob.Time
 	p.seen = true
 
-	evidence := p.cfg.PipingWeight * obs.Piping
+	evidence := p.cfg.PipingWeight * ob.Piping
 	// Depressed daytime activity adds weak evidence.
-	if obs.Activity < 0.4 {
-		evidence += p.cfg.ActivityWeight * (0.4 - obs.Activity)
+	if ob.Activity < 0.4 {
+		evidence += p.cfg.ActivityWeight * (0.4 - ob.Activity)
 	}
 	// Evidence moves risk toward 1 proportionally to its strength.
 	gain := clamp(evidence*0.25, 0, 0.6)
 	p.risk += (1 - p.risk) * gain
+
+	p.mObs.Inc()
+	p.hPiping.Observe(ob.Piping)
+	p.gRisk.Set(p.risk)
+	if !wasAlarm && p.Alarm() {
+		p.mAlarms.Inc()
+	}
 	return p.risk
 }
 
