@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench verify
+.PHONY: all build test vet race bench verify bench-baseline
 
 all: verify
 
 build:
 	$(GO) build ./...
+	$(GO) build -o /dev/null ./cmd/hivereport
 
 vet:
 	$(GO) vet ./...
@@ -15,10 +16,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# The protocol server and the DES engine are the concurrency-bearing
-# packages; run them under the race detector on every verify.
+# The protocol server, the DES engine, and the energy ledger are the
+# concurrency-bearing packages; run them under the race detector on
+# every verify.
 race:
-	$(GO) test -race ./internal/hivenet/... ./internal/des/...
+	$(GO) test -race ./internal/hivenet/... ./internal/des/... \
+		./internal/ledger/... ./internal/deployment/...
 
 # The tier-1 gate: what CI and pre-commit runs.
 verify: build vet test race
@@ -30,3 +33,13 @@ bench:
 
 obs-bench:
 	$(GO) test -run xxx -bench 'BenchmarkDESLoop' -benchtime 3000x -count 5 .
+
+# Machine-readable baseline of the observability-overhead benchmarks
+# (DES loop with obs/ledger on and off, ledger append/audit/export).
+# Compare a branch against a committed BENCH_obs.json to spot probe
+# regressions.
+bench-baseline:
+	$(GO) test -json -run xxx -bench 'BenchmarkDESLoop' -benchtime 3000x -count 3 . \
+		> BENCH_obs.json
+	$(GO) test -json -run xxx -bench 'BenchmarkLedger' -benchmem ./internal/ledger/ \
+		>> BENCH_obs.json

@@ -19,6 +19,7 @@ import (
 	"beesim/internal/dsp"
 	"beesim/internal/experiments"
 	"beesim/internal/hivenet"
+	"beesim/internal/ledger"
 	"beesim/internal/obs"
 	"beesim/internal/optimizer"
 	"beesim/internal/power"
@@ -567,6 +568,38 @@ func BenchmarkDESLoopBare(b *testing.B) {
 // tracer): the acceptance bar is <= 5% over BenchmarkDESLoopBare.
 func BenchmarkDESLoopObsDisabled(b *testing.B) {
 	desLoop(b, func(s *des.Sim) { des.Instrument(s, nil, nil, false) })
+}
+
+// BenchmarkDESLoopLedgerNil measures the DES loop with a disabled
+// (nil) energy ledger consulted on every tick — the configuration a
+// run without -ledger takes. The instrumented packages (battery,
+// deployment, netsim) all guard entry construction behind a nil check,
+// so the disabled cost per tick is one pointer comparison; the
+// acceptance bar is <= 5% over BenchmarkDESLoopBare.
+func BenchmarkDESLoopLedgerNil(b *testing.B) {
+	var lg *ledger.Ledger
+	start := time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < b.N; i++ {
+		s := des.New(start)
+		ticks := 0
+		stop, err := s.Every(time.Second, func() {
+			ticks++
+			if lg != nil {
+				lg.Append(ledger.Entry{
+					T: s.Now(), Hive: "bench", Device: "edge", Component: "pi3b",
+					Task: "tick", Dir: ledger.Consume, Joules: 1, Store: "battery",
+				})
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Run(start.Add(1000 * time.Second))
+		stop()
+		if ticks != 1000 {
+			b.Fatalf("ticks = %d, want 1000", ticks)
+		}
+	}
 }
 
 // BenchmarkDESLoopObsMetrics measures a live registry counting every

@@ -10,10 +10,18 @@
 //	apiarysim fig8 [-loss a|b|c|all] [-csv out.csv]
 //	apiarysim fig9 [-csv out.csv]
 //	apiarysim sweep -from N -to M [-cap K] [-losses abc] [-chart]
-//	          [-metrics] [-trace out.json]
+//	          [-metrics] [-trace out.json] [-ledger out.jsonl]
+//	apiarysim scenario [-model cnn] [-placement edge|edgecloud]
+//	          [-period 5m] [-cycles 12] -ledger out.jsonl
+//
+// Every subcommand accepts -cpuprofile/-memprofile for runtime/pprof
+// profiles. The scenario subcommand replays the Table I/II duty cycle
+// into an energy ledger; record the edge and edge+cloud placements into
+// two files and compare them with hivereport -diff.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +29,13 @@ import (
 
 	"beesim/internal/core"
 	"beesim/internal/experiments"
+	"beesim/internal/ledger"
 	"beesim/internal/obs"
+	"beesim/internal/power"
+	"beesim/internal/prof"
 	"beesim/internal/report"
 	"beesim/internal/routine"
+	"beesim/internal/units"
 )
 
 func main() {
@@ -43,6 +55,8 @@ func main() {
 		err = figure(os.Args[2:], "Figure 9 (100-2000 clients, cap 35, losses A+B+C)", experiments.Figure9)
 	case "sweep":
 		err = sweep(os.Args[2:])
+	case "scenario":
+		err = scenario(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -57,24 +71,40 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: apiarysim <fig6|fig7|fig8|fig9|sweep> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: apiarysim <fig6|fig7|fig8|fig9|sweep|scenario> [flags]`)
+}
+
+// profiled registers -cpuprofile/-memprofile on fs, parses args, and
+// runs body between profiler start and stop, folding close errors from
+// Stop into the returned error.
+func profiled(fs *flag.FlagSet, args []string, body func() error) (err error) {
+	p := prof.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := p.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		err = errors.Join(err, p.Stop())
+	}()
+	return body()
 }
 
 func figure(args []string, title string, run func() ([]experiments.SweepPoint, error)) error {
 	fs := flag.NewFlagSet("figure", flag.ExitOnError)
 	csvPath := fs.String("csv", "", "write the series to this CSV file")
 	svgPath := fs.String("svg", "", "write the figure to this SVG file")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	pts, err := run()
-	if err != nil {
-		return err
-	}
-	if err := render(title, pts, *csvPath); err != nil {
-		return err
-	}
-	return renderSVG(title, pts, *svgPath)
+	return profiled(fs, args, func() error {
+		pts, err := run()
+		if err != nil {
+			return err
+		}
+		if err := render(title, pts, *csvPath); err != nil {
+			return err
+		}
+		return renderSVG(title, pts, *svgPath)
+	})
 }
 
 // renderSVG writes the per-client energy figure as an SVG image.
@@ -106,31 +136,30 @@ func fig7(args []string) error {
 	maxPar := fs.Int("cap", 35, "clients allowed in parallel per slot")
 	csvPath := fs.String("csv", "", "write the series to this CSV file")
 	svgPath := fs.String("svg", "", "write the figure to this SVG file")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	pts, err := experiments.Figure7(*maxPar)
-	if err != nil {
-		return err
-	}
-	title := fmt.Sprintf("Figure 7 (100-2000 clients, cap %d, no loss)", *maxPar)
-	if err := render(title, pts, *csvPath); err != nil {
-		return err
-	}
-	if err := renderSVG(title, pts, *svgPath); err != nil {
-		return err
-	}
-	m := experiments.MilestonesOf(pts)
-	fmt.Printf("\nmilestones:\n")
-	if m.FirstCrossover > 0 {
-		fmt.Printf("  first crossover:   %5d clients (paper, cap 35: 406)\n", m.FirstCrossover)
-		fmt.Printf("  peak advantage:    %5.1f J/client at %d clients (paper: 12.5 J at 630)\n",
-			float64(m.PeakAdvantage), m.PeakClients)
-		fmt.Printf("  permanent win from %5d clients (paper: 803)\n", m.PermanentFrom)
-	} else {
-		fmt.Printf("  the edge+cloud scenario never wins at this capacity\n")
-	}
-	return nil
+	return profiled(fs, args, func() error {
+		pts, err := experiments.Figure7(*maxPar)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Figure 7 (100-2000 clients, cap %d, no loss)", *maxPar)
+		if err := render(title, pts, *csvPath); err != nil {
+			return err
+		}
+		if err := renderSVG(title, pts, *svgPath); err != nil {
+			return err
+		}
+		m := experiments.MilestonesOf(pts)
+		fmt.Printf("\nmilestones:\n")
+		if m.FirstCrossover > 0 {
+			fmt.Printf("  first crossover:   %5d clients (paper, cap 35: 406)\n", m.FirstCrossover)
+			fmt.Printf("  peak advantage:    %5.1f J/client at %d clients (paper: 12.5 J at 630)\n",
+				float64(m.PeakAdvantage), m.PeakClients)
+			fmt.Printf("  permanent win from %5d clients (paper: 803)\n", m.PermanentFrom)
+		} else {
+			fmt.Printf("  the edge+cloud scenario never wins at this capacity\n")
+		}
+		return nil
+	})
 }
 
 func fig8(args []string) error {
@@ -138,30 +167,29 @@ func fig8(args []string) error {
 	lossName := fs.String("loss", "all", "loss variant: a, b, c or all")
 	csvPath := fs.String("csv", "", "write the series to this CSV file")
 	svgPath := fs.String("svg", "", "write the figure to this SVG file")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	var v experiments.LossVariant
-	switch *lossName {
-	case "a":
-		v = experiments.LossA
-	case "b":
-		v = experiments.LossB
-	case "c":
-		v = experiments.LossC
-	case "all":
-		v = experiments.LossAll
-	default:
-		return fmt.Errorf("unknown loss variant %q", *lossName)
-	}
-	pts, err := experiments.Figure8(v)
-	if err != nil {
-		return err
-	}
-	if err := render("Figure 8: "+v.String(), pts, *csvPath); err != nil {
-		return err
-	}
-	return renderSVG("Figure 8: "+v.String(), pts, *svgPath)
+	return profiled(fs, args, func() error {
+		var v experiments.LossVariant
+		switch *lossName {
+		case "a":
+			v = experiments.LossA
+		case "b":
+			v = experiments.LossB
+		case "c":
+			v = experiments.LossC
+		case "all":
+			v = experiments.LossAll
+		default:
+			return fmt.Errorf("unknown loss variant %q", *lossName)
+		}
+		pts, err := experiments.Figure8(v)
+		if err != nil {
+			return err
+		}
+		if err := render("Figure 8: "+v.String(), pts, *csvPath); err != nil {
+			return err
+		}
+		return renderSVG("Figure 8: "+v.String(), pts, *svgPath)
+	})
 }
 
 func sweep(args []string) error {
@@ -176,82 +204,190 @@ func sweep(args []string) error {
 	csvPath := fs.String("csv", "", "write the series to this CSV file")
 	metrics := fs.Bool("metrics", false, "print the sweep's metrics snapshot")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON timeline of the sweep to this file")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	m := routine.CNN
-	if *model == "svm" {
-		m = routine.SVM
-	}
-	svc, err := core.NewService(m, 5*time.Minute)
-	if err != nil {
-		return err
-	}
-	policy := core.FillSequential
-	if *balanced {
-		policy = core.FillBalanced
-	}
-	l := core.Losses{}
-	for _, c := range *losses {
-		switch c {
-		case 'a':
-			l.SlotSaturation = true
-			l.SaturationMargin = 5
-			l.SaturationFactor = 0.10
-		case 'b':
-			l.TransferPenalty = 1500 * time.Millisecond
-		case 'c':
-			l.ClientLossFrac = 0.10
-			l.ClientLossSD = 2
-		default:
-			return fmt.Errorf("unknown loss %q", string(c))
+	ledgerPath := fs.String("ledger", "", "write the sweep's energy ledger to this JSONL file")
+	return profiled(fs, args, func() error {
+		m := routine.CNN
+		if *model == "svm" {
+			m = routine.SVM
 		}
-	}
-	sweepCfg := experiments.SweepConfig{
-		Service: svc,
-		Server:  core.DefaultServer(*maxPar),
-		Losses:  l,
-		From:    *from, To: *to, Step: *step,
-		Policy: policy,
-		Seed:   7,
-	}
-	if *metrics {
-		sweepCfg.Metrics = obs.NewRegistry()
-	}
-	if *tracePath != "" {
-		sweepCfg.Tracer = obs.NewTracer(time.Unix(0, 0).UTC())
-	}
-	pts, err := experiments.Sweep(sweepCfg)
-	if err != nil {
-		return err
-	}
-	title := fmt.Sprintf("sweep %d-%d clients, cap %d, %s, losses %q",
-		*from, *to, *maxPar, svc.Name, *losses)
-	if err := render(title, pts, *csvPath); err != nil {
-		return err
-	}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
+		svc, err := core.NewService(m, 5*time.Minute)
 		if err != nil {
 			return err
 		}
-		if err := sweepCfg.Tracer.WriteJSON(f); err != nil {
-			f.Close()
+		policy := core.FillSequential
+		if *balanced {
+			policy = core.FillBalanced
+		}
+		l := core.Losses{}
+		for _, c := range *losses {
+			switch c {
+			case 'a':
+				l.SlotSaturation = true
+				l.SaturationMargin = 5
+				l.SaturationFactor = 0.10
+			case 'b':
+				l.TransferPenalty = 1500 * time.Millisecond
+			case 'c':
+				l.ClientLossFrac = 0.10
+				l.ClientLossSD = 2
+			default:
+				return fmt.Errorf("unknown loss %q", string(c))
+			}
+		}
+		sweepCfg := experiments.SweepConfig{
+			Service: svc,
+			Server:  core.DefaultServer(*maxPar),
+			Losses:  l,
+			From:    *from, To: *to, Step: *step,
+			Policy: policy,
+			Seed:   7,
+		}
+		if *metrics {
+			sweepCfg.Metrics = obs.NewRegistry()
+		}
+		if *tracePath != "" {
+			sweepCfg.Tracer = obs.NewTracer(time.Unix(0, 0).UTC())
+		}
+		if *ledgerPath != "" {
+			sweepCfg.Ledger = ledger.New()
+		}
+		pts, err := experiments.Sweep(sweepCfg)
+		if err != nil {
 			return err
 		}
-		if err := f.Close(); err != nil {
+		title := fmt.Sprintf("sweep %d-%d clients, cap %d, %s, losses %q",
+			*from, *to, *maxPar, svc.Name, *losses)
+		if err := render(title, pts, *csvPath); err != nil {
 			return err
 		}
-		fmt.Printf("\n%d trace events written to %s (open at ui.perfetto.dev)\n",
-			sweepCfg.Tracer.Len(), *tracePath)
+		if *tracePath != "" {
+			err := writeFile(*tracePath, func(f *os.File) error {
+				return sweepCfg.Tracer.WriteJSON(f)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\n%d trace events written to %s (open at ui.perfetto.dev)\n",
+				sweepCfg.Tracer.Len(), *tracePath)
+		}
+		if *ledgerPath != "" {
+			err := writeFile(*ledgerPath, func(f *os.File) error {
+				return sweepCfg.Ledger.WriteJSONL(f)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\n%d ledger entries written to %s (inspect with hivereport)\n",
+				sweepCfg.Ledger.Len(), *ledgerPath)
+		}
+		if *metrics {
+			fmt.Printf("\nmetrics:\n")
+			if err := sweepCfg.Metrics.Snapshot().WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// scenario replays the Table I/II duty cycle into an energy ledger: one
+// hive, a fixed number of wake-up cycles, every task attributed. Edge
+// tasks drain the battery (store-bound); cloud tasks are grid-powered
+// attribution overlays. The store delta is registered from the summed
+// drain, so the resulting file passes hivereport's conservation audit.
+// Record both placements and diff them:
+//
+//	apiarysim scenario -placement edge -ledger edge.jsonl
+//	apiarysim scenario -placement edgecloud -ledger edgecloud.jsonl
+//	hivereport -diff edge.jsonl edgecloud.jsonl
+func scenario(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	model := fs.String("model", "cnn", "service model: svm or cnn")
+	placement := fs.String("placement", "edge", "service placement: edge or edgecloud")
+	period := fs.Duration("period", 5*time.Minute, "wake-up period")
+	cycles := fs.Int("cycles", 12, "number of wake-up cycles to record")
+	hiveID := fs.String("hive", "apiary-1", "hive id for the ledger entries")
+	ledgerPath := fs.String("ledger", "", "write the energy ledger to this JSONL file (required)")
+	return profiled(fs, args, func() error {
+		if *ledgerPath == "" {
+			return errors.New("scenario needs -ledger out.jsonl")
+		}
+		if *cycles <= 0 {
+			return fmt.Errorf("non-positive cycle count %d", *cycles)
+		}
+		spec := routine.Spec{Period: *period}
+		switch *model {
+		case "cnn":
+			spec.Model = routine.CNN
+		case "svm":
+			spec.Model = routine.SVM
+		default:
+			return fmt.Errorf("unknown model %q", *model)
+		}
+		switch *placement {
+		case "edge":
+			spec.Placement = routine.EdgeOnly
+		case "edgecloud":
+			spec.Placement = routine.EdgeCloud
+		default:
+			return fmt.Errorf("unknown placement %q", *placement)
+		}
+		cycle, err := routine.Build(power.DefaultPi3B(), power.DefaultCloud(), spec)
+		if err != nil {
+			return err
+		}
+
+		lg := ledger.New()
+		// A fixed virtual epoch keeps equal-flag runs byte-identical.
+		at := time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC)
+		for i := 0; i < *cycles; i++ {
+			at = cycle.RecordLedger(lg, *hiveID, at)
+		}
+		// The edge tasks drain a fully charged battery; registering the
+		// resulting delta closes the conservation books.
+		initialJ := float64(scenarioBatteryWh * 3600)
+		drainJ := float64(cycle.EdgeEnergy()) * float64(*cycles)
+		lg.SetStore(*hiveID, "battery", initialJ, initialJ-drainJ)
+
+		if err := writeFile(*ledgerPath, func(f *os.File) error { return lg.WriteJSONL(f) }); err != nil {
+			return err
+		}
+		fmt.Printf("scenario: %s, %s, %d cycle(s) of %v\n",
+			spec.Model, spec.Placement, *cycles, *period)
+		fmt.Printf("  edge energy:  %v (%v per cycle)\n",
+			cycle.EdgeEnergy()*units.Joules(*cycles), cycle.EdgeEnergy())
+		fmt.Printf("  cloud energy: %v (%v per cycle)\n",
+			cycle.CloudEnergy()*units.Joules(*cycles), cycle.CloudEnergy())
+		fmt.Printf("  %d ledger entries written to %s (inspect with hivereport)\n",
+			lg.Len(), *ledgerPath)
+		rep := ledger.Audit(lg, ledger.DefaultTolerance())
+		fmt.Printf("  %s\n", rep.String())
+		if !rep.OK() {
+			for _, v := range rep.Violations {
+				fmt.Printf("    %s\n", v.String())
+			}
+			return fmt.Errorf("conservation audit failed with %d violation(s)", len(rep.Violations))
+		}
+		return nil
+	})
+}
+
+// scenarioBatteryWh is the paper's 74 Wh battery, the initial charge
+// assumed by the scenario subcommand's store delta.
+const scenarioBatteryWh = 74
+
+// writeFile creates path, runs write, and closes the file, folding in
+// the close error (where a failing flush would otherwise vanish).
+func writeFile(path string, write func(f *os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	if *metrics {
-		fmt.Printf("\nmetrics:\n")
-		if err := sweepCfg.Metrics.Snapshot().WriteText(os.Stdout); err != nil {
-			return err
-		}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
 	}
-	return nil
+	return f.Close()
 }
 
 func render(title string, pts []experiments.SweepPoint, csvPath string) error {

@@ -11,7 +11,9 @@
 // With -obs the server keeps a metrics registry (sessions, reports,
 // uploads, slot allocations, burst energy, HTTP request durations) and
 // the dashboard exposes snapshot endpoints at /metrics (text) and
-// /api/metrics (JSON).
+// /api/metrics (JSON). With -ledger it also keeps an energy ledger of
+// every upload's receive/execute burst, exported at /api/ledger as
+// JSONL for hivereport.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"beesim/internal/hive"
 	"beesim/internal/hivenet"
+	"beesim/internal/ledger"
 	"beesim/internal/obs"
 	"beesim/internal/routine"
 )
@@ -65,6 +68,7 @@ func serve(args []string) error {
 	corpus := fs.Int("corpus", 80, "training corpus size")
 	archive := fs.String("archive", "", "persist reports and verdicts to this file")
 	withObs := fs.Bool("obs", false, "keep a metrics registry and expose /metrics on the dashboard")
+	withLedger := fs.Bool("ledger", false, "keep an energy ledger and expose /api/ledger on the dashboard")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +80,9 @@ func serve(args []string) error {
 	cfg.Logf = log.Printf
 	if *withObs {
 		cfg.Metrics = obs.NewRegistry()
+	}
+	if *withLedger {
+		cfg.Ledger = ledger.New()
 	}
 	s, err := hivenet.NewServer(*addr, cfg)
 	if err != nil {

@@ -1,0 +1,202 @@
+// Command hivereport reads energy ledger JSONL files (written by
+// hivetrace -ledger, apiarysim scenario/sweep -ledger, or fetched from
+// the cloud dashboard's /api/ledger) and reports where the joules went:
+//
+//	hivereport run.jsonl                 per-hive breakdown + conservation audit
+//	hivereport -hive apiary-1 run.jsonl  limit tables to one hive
+//	hivereport -csv out.csv run.jsonl    breakdown as CSV
+//	hivereport -diff edge.jsonl edgecloud.jsonl
+//	                                     two-run comparison, largest energy
+//	                                     movement first (the paper's Section V
+//	                                     edge vs edge+cloud question)
+//
+// The breakdown tables mirror the shape of the paper's Tables I/II: one
+// row per (device, component, task, direction), with total joules, the
+// covered duration, and the entry count.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"beesim/internal/ledger"
+	"beesim/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hivereport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hivereport", flag.ContinueOnError)
+	diff := fs.Bool("diff", false, "compare two ledger files (A B): where did the joules move?")
+	hive := fs.String("hive", "", "limit breakdown tables to one hive id")
+	csvPath := fs.String("csv", "", "also write the breakdown as CSV to this file")
+	tolAbs := fs.Float64("tol-abs", ledger.DefaultTolerance().AbsJ,
+		"conservation audit absolute tolerance in joules")
+	tolRel := fs.Float64("tol-rel", ledger.DefaultTolerance().Rel,
+		"conservation audit relative tolerance (fraction of gross flow)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: hivereport [flags] ledger.jsonl")
+		fmt.Fprintln(fs.Output(), "       hivereport -diff [flags] a.jsonl b.jsonl")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *diff {
+		if fs.NArg() != 2 {
+			fs.Usage()
+			return errors.New("-diff needs exactly two ledger files")
+		}
+		a, err := loadLedger(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		b, err := loadLedger(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		return printDiff(out, fs.Arg(0), fs.Arg(1), a, b)
+	}
+
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return errors.New("need exactly one ledger file")
+	}
+	lg, err := loadLedger(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if err := printBreakdown(out, lg, *hive); err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, ledger.Breakdown(lg.Entries(), *hive)); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n\n", *csvPath)
+	}
+	return printAudit(out, lg, ledger.Tolerance{AbsJ: *tolAbs, Rel: *tolRel})
+}
+
+func loadLedger(path string) (lg *ledger.Ledger, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		err = errors.Join(err, f.Close())
+	}()
+	lg, err = ledger.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return lg, nil
+}
+
+// printBreakdown renders one table per hive (or one table for the
+// selected hive) in the Tables I/II shape.
+func printBreakdown(out io.Writer, lg *ledger.Ledger, hive string) error {
+	entries := lg.Entries()
+	hives := ledger.Hives(entries)
+	if hive != "" {
+		hives = []string{hive}
+	}
+	for _, h := range hives {
+		rows := ledger.Breakdown(entries, h)
+		name := h
+		if name == "" {
+			name = "(fleet)"
+		}
+		tbl := report.NewTable(fmt.Sprintf("Energy breakdown — hive %s", name),
+			"device", "component", "task", "dir", "energy (J)", "time (s)", "entries")
+		var totalJ float64
+		for _, r := range rows {
+			tbl.MustAddRow(r.Device, r.Component, r.Task, r.Dir.String(),
+				fmt.Sprintf("%.3f", r.Joules),
+				fmt.Sprintf("%.1f", r.Seconds),
+				fmt.Sprintf("%d", r.Count))
+			if r.Dir == ledger.Consume {
+				totalJ += r.Joules
+			}
+		}
+		if err := tbl.Render(out); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(out, "total consumed: %.3f J\n\n", totalJ); err != nil {
+			return err
+		}
+	}
+	if len(hives) == 0 {
+		if _, err := fmt.Fprintln(out, "ledger is empty"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printAudit(out io.Writer, lg *ledger.Ledger, tol ledger.Tolerance) error {
+	rep := ledger.Audit(lg, tol)
+	if _, err := fmt.Fprintln(out, rep.String()); err != nil {
+		return err
+	}
+	if rep.OK() {
+		return nil
+	}
+	for _, v := range rep.Violations {
+		if _, err := fmt.Fprintln(out, " ", v.String()); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("conservation audit failed with %d violation(s)", len(rep.Violations))
+}
+
+func printDiff(out io.Writer, nameA, nameB string, a, b *ledger.Ledger) error {
+	rows := ledger.Diff(a.Entries(), b.Entries())
+	tbl := report.NewTable(fmt.Sprintf("Run diff — A=%s  B=%s", nameA, nameB),
+		"device", "component", "task", "dir", "A (J)", "B (J)", "Δ (J)")
+	var totalA, totalB float64
+	for _, r := range rows {
+		tbl.MustAddRow(r.Device, r.Component, r.Task, r.Dir.String(),
+			fmt.Sprintf("%.3f", r.AJ),
+			fmt.Sprintf("%.3f", r.BJ),
+			fmt.Sprintf("%+.3f", r.DeltaJ))
+		if r.Dir == ledger.Consume {
+			totalA += r.AJ
+			totalB += r.BJ
+		}
+	}
+	if err := tbl.Render(out); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(out,
+		"total consumed: A %.3f J, B %.3f J, Δ %+.3f J (%+.1f%%)\n",
+		totalA, totalB, totalB-totalA, percentChange(totalA, totalB))
+	return err
+}
+
+func percentChange(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return 100 * (b - a) / a
+}
+
+func writeCSV(path string, rows []ledger.Row) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		err = errors.Join(err, f.Close())
+	}()
+	return report.WriteLedgerCSV(f, rows)
+}

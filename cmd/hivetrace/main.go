@@ -2,45 +2,88 @@
 // multi-day discrete-event trace of one smart beehive (solar panel,
 // battery, weather, colony, duty-cycled recorder), printed as a summary
 // and optionally exported as CSV for plotting, a Chrome trace_event
-// timeline for Perfetto, and a metrics snapshot.
+// timeline for Perfetto, a metrics snapshot, and an energy ledger.
 //
 // Usage:
 //
 //	hivetrace [-days 7] [-wake 10m] [-site cachan|lyon] [-csv out.csv]
 //	          [-trace out.json] [-trace-events] [-metrics]
-//	          [-metrics-csv out.csv] [-empty] [-no-brownout]
+//	          [-metrics-csv out.csv] [-ledger out.jsonl] [-flight N]
+//	          [-empty] [-no-brownout]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
-// Traces and metrics are keyed by the virtual simulation clock, so two
-// runs with the same seed produce byte-identical exports (see
-// docs/OBSERVABILITY.md).
+// Traces, metrics and the ledger are keyed by the virtual simulation
+// clock, so two runs with the same seed produce byte-identical exports
+// (see docs/OBSERVABILITY.md). With -ledger the full ledger is written
+// as JSONL and audited for energy conservation; with -flight N only the
+// last N entries are retained and dumped to stderr when the battery's
+// protection circuit trips (a flight recorder for debugging brownouts).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"beesim/internal/deployment"
+	"beesim/internal/ledger"
 	"beesim/internal/obs"
+	"beesim/internal/prof"
 	"beesim/internal/report"
 	"beesim/internal/solar"
 	"beesim/internal/timeseries"
 )
 
 func main() {
-	days := flag.Int("days", 7, "days to simulate")
-	wake := flag.Duration("wake", 10*time.Minute, "recorder wake-up period")
-	site := flag.String("site", "cachan", "deployment site: cachan or lyon")
-	csvPath := flag.String("csv", "", "write the trace series to this CSV file")
-	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
-	traceEvents := flag.Bool("trace-events", false, "include every DES engine event in the trace (verbose)")
-	metrics := flag.Bool("metrics", false, "print the metrics snapshot after the summary")
-	metricsCSV := flag.String("metrics-csv", "", "write the metrics snapshot to this CSV file")
-	empty := flag.Bool("empty", false, "simulate an empty hive (no colony yet)")
-	noBrownout := flag.Bool("no-brownout", false, "disable the night bus brownout")
-	seed := flag.Uint64("seed", 1, "random seed")
-	flag.Parse()
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "hivetrace:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// usageError marks bad invocations (exit 2, like flag parse errors)
+// as opposed to runtime failures (exit 1).
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("hivetrace", flag.ContinueOnError)
+	days := fs.Int("days", 7, "days to simulate")
+	wake := fs.Duration("wake", 10*time.Minute, "recorder wake-up period")
+	site := fs.String("site", "cachan", "deployment site: cachan or lyon")
+	csvPath := fs.String("csv", "", "write the trace series to this CSV file")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+	traceEvents := fs.Bool("trace-events", false, "include every DES engine event in the trace (verbose)")
+	metrics := fs.Bool("metrics", false, "print the metrics snapshot after the summary")
+	metricsCSV := fs.String("metrics-csv", "", "write the metrics snapshot to this CSV file")
+	ledgerPath := fs.String("ledger", "", "write the energy ledger to this JSONL file and audit it")
+	flight := fs.Int("flight", 0, "flight-recorder mode: retain only the last N ledger entries, dump to stderr on battery cutoff")
+	empty := fs.Bool("empty", false, "simulate an empty hive (no colony yet)")
+	noBrownout := fs.Bool("no-brownout", false, "disable the night bus brownout")
+	seed := fs.Uint64("seed", 1, "random seed")
+	profiler := prof.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError(err.Error())
+	}
+	if err := profiler.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		err = errors.Join(err, profiler.Stop())
+	}()
 
 	cfg := deployment.DefaultConfig()
 	cfg.Days = *days
@@ -53,8 +96,7 @@ func main() {
 	case "lyon":
 		cfg.Location = solar.Lyon
 	default:
-		fmt.Fprintf(os.Stderr, "hivetrace: unknown site %q\n", *site)
-		os.Exit(2)
+		return usageError(fmt.Sprintf("unknown site %q", *site))
 	}
 	if *empty {
 		cfg.Colony.Population = 0
@@ -66,11 +108,21 @@ func main() {
 		cfg.Tracer = obs.NewTracer(cfg.Start)
 		cfg.TraceEngineEvents = *traceEvents
 	}
+	switch {
+	case *flight > 0:
+		lg, err := ledger.NewRing(*flight)
+		if err != nil {
+			return err
+		}
+		lg.AutoDump(os.Stderr)
+		cfg.Ledger = lg
+	case *ledgerPath != "":
+		cfg.Ledger = ledger.New()
+	}
 
 	tr, err := deployment.Run(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hivetrace:", err)
-		os.Exit(1)
+		return err
 	}
 
 	fmt.Printf("hive trace: %s, %d day(s), wake every %v\n\n", cfg.Location.Name, cfg.Days, cfg.WakePeriod)
@@ -106,8 +158,7 @@ func main() {
 				tr.InsideTemp, tr.InsideHumidity, tr.OutsideTemp, tr.OutsideHumidity)
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hivetrace:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("\n  trace written to %s\n", *csvPath)
 	}
@@ -117,11 +168,42 @@ func main() {
 			return cfg.Tracer.WriteJSON(f)
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hivetrace:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("\n  %d trace events written to %s (open at ui.perfetto.dev)\n",
 			cfg.Tracer.Len(), *tracePath)
+	}
+
+	if *ledgerPath != "" {
+		err := writeFile(*ledgerPath, func(f *os.File) error {
+			return cfg.Ledger.WriteJSONL(f)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n  %d ledger entries written to %s (inspect with hivereport)\n",
+			cfg.Ledger.Len(), *ledgerPath)
+	}
+
+	if cfg.Ledger != nil {
+		if *flight > 0 {
+			// A ring sees only a window of the flows, so a conservation
+			// audit over it is not meaningful; report retention instead.
+			fmt.Printf("\n  flight recorder: %d of %d entries retained, %d trip(s)\n",
+				cfg.Ledger.Len(), cfg.Ledger.Total(), cfg.Ledger.Trips())
+		} else {
+			rep, tripErr := ledger.AuditTrip(cfg.Ledger, ledger.DefaultTolerance())
+			if tripErr != nil {
+				return tripErr
+			}
+			fmt.Printf("\n  %s\n", rep.String())
+			for _, v := range rep.Violations {
+				fmt.Printf("    %s\n", v.String())
+			}
+			if !rep.OK() {
+				return fmt.Errorf("conservation audit failed with %d violation(s)", len(rep.Violations))
+			}
+		}
 	}
 
 	if *metricsCSV != "" {
@@ -129,8 +211,7 @@ func main() {
 			return report.WriteMetricsCSV(f, cfg.Metrics.Snapshot())
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hivetrace:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("\n  metrics written to %s\n", *metricsCSV)
 	}
@@ -138,10 +219,10 @@ func main() {
 	if *metrics {
 		fmt.Printf("\nmetrics:\n")
 		if err := cfg.Metrics.Snapshot().WriteText(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "hivetrace:", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
 }
 
 // writeFile creates path, runs write, and closes the file, reporting

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"beesim/internal/ledger"
 	"beesim/internal/obs"
 	"beesim/internal/units"
 )
@@ -66,6 +67,10 @@ type Battery struct {
 	gSoC        *obs.Gauge
 	tr          *obs.Tracer
 	clock       func() time.Time
+
+	// Energy-ledger probe; nil-safe no-op until AttachLedger.
+	lg     *ledger.Ledger
+	lgHive string
 }
 
 // Metric names emitted by an instrumented battery.
@@ -91,6 +96,55 @@ func (b *Battery) Instrument(m *obs.Registry, tr *obs.Tracer, clock func() time.
 	if clock != nil {
 		b.tr = tr
 		b.clock = clock
+	}
+}
+
+// AttachLedger wires the energy ledger: every Charge appends a harvest
+// entry for the joules actually stored, every Discharge a store-loss
+// entry for the conversion loss between stored and delivered energy,
+// and a protection cutoff trips the ledger's flight recorder. Together
+// with the caller's consume entries (attributing delivered energy to
+// devices) the flows balance exactly: harvest − consume − loss =
+// Δstored, which is what the conservation auditor checks. clock
+// supplies the virtual time of each entry; entries are skipped when lg
+// or clock is nil.
+func (b *Battery) AttachLedger(lg *ledger.Ledger, hive string, clock func() time.Time) {
+	if clock == nil {
+		return
+	}
+	b.lg = lg
+	b.lgHive = hive
+	b.clock = clock
+}
+
+// Snapshot is an exported view of the pack's lifetime counters, for
+// reports and for reconciling the energy ledger against the pack's own
+// books.
+type Snapshot struct {
+	// Stored is the energy currently held.
+	Stored units.WattHours
+	// SoC is the state of charge in [0, 1].
+	SoC float64
+	// TotalInJ is the lifetime energy banked (after charge efficiency).
+	TotalInJ units.Joules
+	// TotalOutJ is the lifetime energy delivered to the load (after
+	// discharge efficiency).
+	TotalOutJ units.Joules
+	// Cutoffs counts protection-circuit openings.
+	Cutoffs int
+	// LoadConnected reports whether discharge is currently allowed.
+	LoadConnected bool
+}
+
+// Snapshot returns the pack's current state and lifetime counters.
+func (b *Battery) Snapshot() Snapshot {
+	return Snapshot{
+		Stored:        b.stored,
+		SoC:           b.SoC(),
+		TotalInJ:      b.totalIn,
+		TotalOutJ:     b.totalOut,
+		Cutoffs:       b.cutoffs,
+		LoadConnected: !b.cut,
 	}
 }
 
@@ -153,6 +207,13 @@ func (b *Battery) Charge(p units.Watts, d time.Duration) units.Joules {
 	b.totalIn += stored
 	b.mChargeJ.Add(float64(stored))
 	b.gSoC.Set(b.SoC())
+	if b.lg != nil && stored > 0 {
+		b.lg.Append(ledger.Entry{
+			T: b.clock(), Hive: b.lgHive, Device: "battery", Component: "pack",
+			Task: "charge", Dir: ledger.Harvest, Joules: float64(stored),
+			Seconds: d.Seconds(), Store: "battery",
+		})
+	}
 	if b.cut && b.SoC() >= b.cfg.ReconnectFraction {
 		b.cut = false
 		if b.tr != nil {
@@ -184,6 +245,7 @@ func (b *Battery) Discharge(p units.Watts, d time.Duration) time.Duration {
 		b.totalOut += delivered
 		b.mDischargeJ.Add(float64(delivered))
 		b.gSoC.Set(b.SoC())
+		b.recordLoss(float64(need-delivered), d)
 		if b.SoC() <= b.cfg.CutoffFraction {
 			b.openProtection()
 		}
@@ -196,8 +258,23 @@ func (b *Battery) Discharge(p units.Watts, d time.Duration) time.Duration {
 	b.totalOut += delivered
 	b.mDischargeJ.Add(float64(delivered))
 	b.gSoC.Set(b.SoC())
+	sustained := time.Duration(float64(d) * frac)
+	b.recordLoss(float64(available-delivered), sustained)
 	b.openProtection()
-	return time.Duration(float64(d) * frac)
+	return sustained
+}
+
+// recordLoss appends the discharge conversion loss (the joules removed
+// from the pack but not delivered to the load) to the ledger.
+func (b *Battery) recordLoss(lossJ float64, d time.Duration) {
+	if b.lg == nil || lossJ <= 0 {
+		return
+	}
+	b.lg.Append(ledger.Entry{
+		T: b.clock(), Hive: b.lgHive, Device: "battery", Component: "pack",
+		Task: "discharge loss", Dir: ledger.StoreLoss, Joules: lossJ,
+		Seconds: d.Seconds(), Store: "battery",
+	})
 }
 
 func (b *Battery) openProtection() {
@@ -208,6 +285,9 @@ func (b *Battery) openProtection() {
 		if b.tr != nil {
 			b.tr.Instant("battery cutoff", "battery", obs.TidPower, b.clock(),
 				map[string]any{"soc": b.SoC()})
+		}
+		if b.lg != nil {
+			_ = b.lg.Trip(fmt.Sprintf("battery cutoff hive=%q soc=%.4f", b.lgHive, b.SoC()))
 		}
 	}
 }

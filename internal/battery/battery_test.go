@@ -1,14 +1,19 @@
 package battery
 
 import (
+	"bytes"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"beesim/internal/ledger"
 	"beesim/internal/rng"
 	"beesim/internal/units"
 )
+
+var t0 = time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC)
 
 func mustNew(t *testing.T, soc float64) *Battery {
 	t.Helper()
@@ -205,5 +210,95 @@ func TestDayNightCycleSurvival(t *testing.T) {
 	}
 	if b.Cutoffs() != 0 {
 		t.Fatalf("pack cut off %d times in a balanced week", b.Cutoffs())
+	}
+}
+
+// TestSnapshotReconcilesWithLedger drives a week of charge/discharge
+// with the ledger attached and checks two books against each other: the
+// pack's own lifetime counters (exposed via Snapshot) and the ledger's
+// conservation audit. totalIn must equal the sum of harvest entries,
+// the discharge losses must equal totalOut's efficiency shortfall, and
+// with a synthetic consume entry for the delivered energy the audit
+// balances to zero violations.
+func TestSnapshotReconcilesWithLedger(t *testing.T) {
+	b := mustNew(t, 0.5)
+	lg := ledger.New()
+	now := t0
+	clock := func() time.Time { return now }
+	b.AttachLedger(lg, "cachan-1", clock)
+	initialJ := float64(b.Stored().Joules())
+
+	var deliveredJ float64
+	for day := 0; day < 7; day++ {
+		for h := 0; h < 24; h++ {
+			now = now.Add(time.Hour)
+			if h >= 9 && h < 17 {
+				b.Charge(12, time.Hour)
+			}
+			sustained := b.Discharge(1.2, time.Hour)
+			deliveredJ += float64(units.Watts(1.2).Energy(sustained))
+		}
+	}
+
+	snap := b.Snapshot()
+	if snap.Cutoffs != b.Cutoffs() || snap.LoadConnected != b.LoadConnected() {
+		t.Fatalf("snapshot disagrees with accessors: %+v", snap)
+	}
+	in, out := b.Totals()
+	if snap.TotalInJ != in || snap.TotalOutJ != out {
+		t.Fatalf("snapshot totals %v/%v, accessors %v/%v", snap.TotalInJ, snap.TotalOutJ, in, out)
+	}
+	if math.Abs(float64(out)-deliveredJ) > 1e-6 {
+		t.Fatalf("totalOut %v J, delivered per-interval sum %v J", out, deliveredJ)
+	}
+
+	var harvestJ, lossJ float64
+	for _, e := range lg.Entries() {
+		switch e.Dir {
+		case ledger.Harvest:
+			harvestJ += e.Joules
+		case ledger.StoreLoss:
+			lossJ += e.Joules
+		}
+	}
+	if math.Abs(harvestJ-float64(in)) > 1e-6 {
+		t.Fatalf("ledger harvest %v J, pack totalIn %v J", harvestJ, in)
+	}
+	// Loss is the gap between energy removed from the pack and energy
+	// delivered: removed = out/eff, loss = removed − out.
+	wantLoss := float64(out)/DefaultConfig().DischargeEfficiency - float64(out)
+	if math.Abs(lossJ-wantLoss) > 1e-6 {
+		t.Fatalf("ledger loss %v J, want %v J", lossJ, wantLoss)
+	}
+
+	// Close the books: attribute the delivered energy to the load and
+	// register the observed delta. Conservation must hold exactly.
+	lg.Append(ledger.Entry{T: now, Hive: "cachan-1", Device: "edge",
+		Component: "pi3b", Task: "load", Dir: ledger.Consume,
+		Joules: deliveredJ, Store: "battery"})
+	lg.SetStore("cachan-1", "battery", initialJ, float64(b.Stored().Joules()))
+	if rep := ledger.Audit(lg, ledger.DefaultTolerance()); !rep.OK() {
+		t.Fatalf("battery books failed conservation: %v", rep.Violations)
+	}
+}
+
+// TestLedgerTripsOnCutoff wires a flight-recorder ledger and drains the
+// pack: the protection cutoff must trip the recorder and dump the
+// retained entries.
+func TestLedgerTripsOnCutoff(t *testing.T) {
+	b := mustNew(t, 0.06)
+	lg, err := ledger.NewRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump bytes.Buffer
+	lg.AutoDump(&dump)
+	b.AttachLedger(lg, "h", func() time.Time { return t0 })
+	b.Discharge(10, 24*time.Hour)
+	if lg.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", lg.Trips())
+	}
+	if !strings.Contains(dump.String(), "battery cutoff") {
+		t.Fatalf("dump missing cutoff reason: %q", dump.String())
 	}
 }

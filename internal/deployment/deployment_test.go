@@ -1,10 +1,13 @@
 package deployment
 
 import (
+	"bytes"
+	"math"
 	"testing"
 	"time"
 
 	"beesim/internal/hive"
+	"beesim/internal/ledger"
 	"beesim/internal/solar"
 )
 
@@ -199,5 +202,101 @@ func TestLyonLocation(t *testing.T) {
 	cfg.Location = solar.Lyon
 	if _, err := Run(cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLedgerConservationAudit runs the Figure-2 deployment with the
+// ledger attached and requires the conservation audit to balance with
+// zero violations: the battery's harvest and loss entries against the
+// monitor/recorder consume entries and the registered store delta.
+func TestLedgerConservationAudit(t *testing.T) {
+	cfg := shortCfg()
+	lg := ledger.New()
+	cfg.Ledger = lg
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if lg.Len() == 0 {
+		t.Fatal("ledger empty after an instrumented run")
+	}
+	rep := ledger.Audit(lg, ledger.DefaultTolerance())
+	if !rep.OK() {
+		t.Fatalf("conservation audit failed: %v", rep.Violations)
+	}
+	if rep.StoresChecked != 1 || rep.EntriesAudited == 0 || rep.AttributionOnly == 0 {
+		t.Fatalf("audit saw too little: %+v", rep)
+	}
+	// The store delta names the default hive (location name).
+	if s := lg.Stores(); len(s) != 1 || s[0].Hive != cfg.Location.Name {
+		t.Fatalf("stores = %+v", lg.Stores())
+	}
+}
+
+// TestLedgerEqualSeedByteIdentical exports two equal-seed runs and
+// requires byte-identical JSONL — the structured log is keyed purely by
+// virtual time.
+func TestLedgerEqualSeedByteIdentical(t *testing.T) {
+	export := func() []byte {
+		cfg := shortCfg()
+		cfg.Ledger = ledger.New()
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cfg.Ledger.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal-seed runs exported different ledger bytes")
+	}
+	// A different seed must actually change the books (the equality
+	// above is not vacuous).
+	cfg := shortCfg()
+	cfg.Seed = 99
+	cfg.Ledger = ledger.New()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := cfg.Ledger.WriteJSONL(&c); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c.Bytes()) {
+		t.Fatal("different seeds exported identical ledgers")
+	}
+}
+
+// TestLedgerMatchesTraceTotals reconciles the ledger's aggregates with
+// the run's own summary counters.
+func TestLedgerMatchesTraceTotals(t *testing.T) {
+	cfg := shortCfg()
+	lg := ledger.New()
+	cfg.Ledger = lg
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var monitorJ, recorderJ, chargeJ float64
+	for _, e := range lg.Entries() {
+		switch {
+		case e.Component == "pi-zero":
+			monitorJ += e.Joules
+		case e.Component == "pi3b":
+			recorderJ += e.Joules
+		case e.Task == "charge":
+			chargeJ += e.Joules
+		}
+	}
+	if math.Abs(monitorJ-float64(tr.MonitorEnergy)) > 1e-6 {
+		t.Fatalf("ledger monitor %v J, trace %v J", monitorJ, tr.MonitorEnergy)
+	}
+	if math.Abs(recorderJ-float64(tr.RecorderEnergy)) > 1e-6 {
+		t.Fatalf("ledger recorder %v J, trace %v J", recorderJ, tr.RecorderEnergy)
+	}
+	if math.Abs(chargeJ-float64(tr.HarvestedEnergy)) > 1e-6 {
+		t.Fatalf("ledger charge %v J, trace harvest %v J", chargeJ, tr.HarvestedEnergy)
 	}
 }

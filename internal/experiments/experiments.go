@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"beesim/internal/core"
+	"beesim/internal/ledger"
 	"beesim/internal/netsim"
 	"beesim/internal/obs"
 	"beesim/internal/power"
@@ -175,6 +176,11 @@ type SweepConfig struct {
 	// sweep can be profiled in Perfetto: span args carry clients, both
 	// per-client energies and the server count.
 	Tracer *obs.Tracer
+	// Ledger, when non-nil, receives two attribution-only consume
+	// entries per sweep point — the per-client cycle energy of each
+	// scenario, keyed to the same synthetic timeline and labeled
+	// "fleet-N" — so hivereport can break down and diff whole sweeps.
+	Ledger *ledger.Ledger
 }
 
 // Metric names emitted by an instrumented sweep.
@@ -216,14 +222,28 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 		mPoints.Inc()
 		hEdgeJ.Observe(float64(edge.PerClient()))
 		hCloudJ.Observe(float64(ec.PerClient()))
+		at := epoch.Add(time.Duration(len(out)) * time.Millisecond)
 		cfg.Tracer.Span(fmt.Sprintf("sweep point %d clients", n), "sweep", obs.TidEngine,
-			epoch.Add(time.Duration(len(out))*time.Millisecond), time.Millisecond,
+			at, time.Millisecond,
 			map[string]any{
 				"clients":        n,
 				"edge_j_client":  float64(edge.PerClient()),
 				"cloud_j_client": float64(ec.PerClient()),
 				"servers":        ec.Servers,
 			})
+		if cfg.Ledger != nil {
+			hive := fmt.Sprintf("fleet-%d", n)
+			cfg.Ledger.Append(ledger.Entry{
+				T: at, Hive: hive, Device: "edge", Component: "pi3b",
+				Task: "edge-only per-client cycle", Dir: ledger.Consume,
+				Joules: float64(edge.PerClient()), Seconds: Period.Seconds(),
+			})
+			cfg.Ledger.Append(ledger.Entry{
+				T: at, Hive: hive, Device: "fleet", Component: "edge+cloud",
+				Task: "edge+cloud per-client cycle", Dir: ledger.Consume,
+				Joules: float64(ec.PerClient()), Seconds: Period.Seconds(),
+			})
+		}
 		out = append(out, SweepPoint{Clients: n, EdgeOnly: edge, EdgeCloud: ec})
 	}
 	return out, nil

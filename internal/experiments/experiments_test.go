@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
 	"time"
 
 	"beesim/internal/core"
+	"beesim/internal/ledger"
 	"beesim/internal/routine"
 	"beesim/internal/stats"
 )
@@ -324,5 +326,40 @@ func TestFigure5SmallSweep(t *testing.T) {
 	}
 	if _, err := Figure5(Figure5Config{}); err == nil {
 		t.Error("empty size list accepted")
+	}
+}
+
+func TestSweepLedgerRecordsPerPoint(t *testing.T) {
+	svc, err := core.NewService(routine.CNN, Period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := ledger.New()
+	points, err := Sweep(SweepConfig{
+		Service: svc,
+		Server:  core.DefaultServer(10),
+		From:    10, To: 14, Step: 2,
+		Policy: core.FillSequential,
+		Ledger: lg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := lg.Len(), 2*len(points); got != want {
+		t.Fatalf("ledger entries = %d, want %d (2 per point)", got, want)
+	}
+	for i, e := range lg.Entries() {
+		p := points[i/2]
+		wantHive := fmt.Sprintf("fleet-%d", p.Clients)
+		if e.Hive != wantHive || e.Store != "" {
+			t.Fatalf("entry %d = %+v, want hive %q attribution-only", i, e, wantHive)
+		}
+		want := float64(p.EdgeOnly.PerClient())
+		if i%2 == 1 {
+			want = float64(p.EdgeCloud.PerClient())
+		}
+		if e.Joules != want {
+			t.Fatalf("entry %d joules = %v, want %v", i, e.Joules, want)
+		}
 	}
 }

@@ -34,6 +34,7 @@ type Dashboard struct {
 //	GET /api/records?hive=ID[&kind=sensor|result][&hours=N]
 //	GET /api/metrics metrics registry snapshot (JSON; 404 when disabled)
 //	GET /metrics     metrics registry snapshot (text; 404 when disabled)
+//	GET /api/ledger  energy ledger export (JSONL; 404 when disabled)
 //
 // When the server was configured with a metrics registry, every request
 // is counted and timed (hivenet_http_requests_total.<handler>,
@@ -51,6 +52,7 @@ func NewDashboard(srv *Server) *Dashboard {
 	d.mux.HandleFunc("/api/records", d.instrument("records", d.handleRecords))
 	d.mux.HandleFunc("/api/metrics", d.instrument("metrics", d.handleMetricsJSON))
 	d.mux.HandleFunc("/metrics", d.instrument("metrics", d.handleMetricsText))
+	d.mux.HandleFunc("/api/ledger", d.instrument("ledger", d.handleLedger))
 	return d
 }
 
@@ -106,6 +108,24 @@ func (d *Dashboard) handleMetricsText(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if err := m.Snapshot().WriteText(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleLedger streams the server's energy ledger as JSONL — the same
+// wire format hivereport and the offline auditor read.
+func (d *Dashboard) handleLedger(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	lg := d.srv.Ledger()
+	if lg == nil {
+		http.Error(w, "ledger disabled (start the server with -ledger)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	if err := lg.WriteJSONL(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -199,7 +219,7 @@ var indexTemplate = template.Must(template.New("index").Parse(`<!doctype html>
 {{else}}<li>none yet</li>
 {{end}}
 </ul>
-<p>API: /api/stats, /api/hives, /api/records?hive=ID&amp;kind=result</p>
+<p>API: /api/stats, /api/hives, /api/records?hive=ID&amp;kind=result, /api/ledger</p>
 </body></html>
 `))
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"beesim/internal/hive"
+	"beesim/internal/ledger"
 	"beesim/internal/store"
 )
 
@@ -124,5 +125,52 @@ func TestDashboardMethodGuards(t *testing.T) {
 		if rec.Code != http.StatusMethodNotAllowed {
 			t.Errorf("POST %s: status = %d, want 405", url, rec.Code)
 		}
+	}
+}
+
+func TestDashboardLedgerEndpoint(t *testing.T) {
+	cfg := DefaultServerConfig()
+	cfg.Ledger = ledger.New()
+	s := startServer(t, cfg)
+	agent, err := Dial(s.Addr(), DefaultAgentConfig("ledger-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agent.Close() })
+	at := time.Date(2023, 4, 10, 6, 0, 0, 0, time.UTC)
+	if _, err := agent.RunCycle(hive.QueenPresent, 0.6, at); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDashboard(s)
+	rec := httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/ledger", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	back, err := ledger.ReadJSONL(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := back.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("ledger entries = %d, want receive+execute", len(entries))
+	}
+	var total float64
+	for _, e := range entries {
+		if e.Hive != "ledger-1" || e.Device != "cloud" || e.Store != "" || !e.T.Equal(at) {
+			t.Fatalf("entry = %+v", e)
+		}
+		total += e.Joules
+	}
+	if got := float64(s.Stats().BurstEnergy); total != got {
+		t.Fatalf("ledger burst %v J, stats %v J", total, got)
+	}
+
+	// Without a ledger the endpoint 404s.
+	d2, _ := dashboardWithTraffic(t)
+	rec2 := httptest.NewRecorder()
+	d2.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/api/ledger", nil))
+	if rec2.Code != http.StatusNotFound {
+		t.Fatalf("disabled ledger status = %d", rec2.Code)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"beesim/internal/audio"
+	"beesim/internal/ledger"
 	"beesim/internal/obs"
 	"beesim/internal/power"
 	"beesim/internal/proto"
@@ -51,6 +52,12 @@ type ServerConfig struct {
 	// counters, slot gauges and energy totals, and enables the
 	// dashboard's /metrics and /api/metrics snapshot endpoints.
 	Metrics *obs.Registry
+	// Ledger, when non-nil, records each upload's receive+execute burst
+	// as attribution-only consume entries keyed by the upload's own
+	// (virtual) timestamp and hive ID, and enables the dashboard's
+	// /api/ledger endpoint. The entries carry no store: the server is
+	// grid-powered, so they never enter a battery conservation balance.
+	Ledger *ledger.Ledger
 }
 
 // Metric names emitted by an instrumented server.
@@ -359,7 +366,7 @@ func (s *Server) handle(conn net.Conn) error {
 				_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
 				return err
 			}
-			s.accountUpload()
+			s.accountUpload(up.HiveID, up.Time)
 			s.mu.Lock()
 			s.uploads++
 			s.mu.Unlock()
@@ -447,9 +454,10 @@ func (s *Server) infer(samples []float64, sampleRate int) (bool, float64, error)
 	return queen, confidence, nil
 }
 
-// accountUpload charges the energy ledger for one receive+execute burst
-// using the calibrated cloud model (Table II's rows).
-func (s *Server) accountUpload() {
+// accountUpload charges the energy books for one receive+execute burst
+// using the calibrated cloud model (Table II's rows), attributing the
+// entries to the uploading hive at its own timestamp.
+func (s *Server) accountUpload(hive string, at time.Time) {
 	recv := s.cloud.Receive()
 	exec := s.cloud.ExecSVM()
 	recvExtra := (recv.Power() - s.cloud.IdlePower).Energy(recv.Duration)
@@ -458,4 +466,20 @@ func (s *Server) accountUpload() {
 	s.energy += recvExtra + execExtra
 	s.mu.Unlock()
 	s.mBurstJ.Add(float64(recvExtra + execExtra))
+	if s.cfg.Ledger != nil {
+		s.cfg.Ledger.Append(ledger.Entry{
+			T: at, Hive: hive, Device: "cloud", Component: "server",
+			Task: "Receive audio", Dir: ledger.Consume,
+			Joules: float64(recvExtra), Seconds: recv.Duration.Seconds(),
+		})
+		s.cfg.Ledger.Append(ledger.Entry{
+			T: at, Hive: hive, Device: "cloud", Component: "server",
+			Task: exec.Name, Dir: ledger.Consume,
+			Joules: float64(execExtra), Seconds: exec.Duration.Seconds(),
+		})
+	}
 }
+
+// Ledger returns the ledger the server was configured with (nil when
+// disabled).
+func (s *Server) Ledger() *ledger.Ledger { return s.cfg.Ledger }

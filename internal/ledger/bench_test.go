@@ -1,0 +1,48 @@
+package ledger
+
+import (
+	"testing"
+	"time"
+)
+
+var benchEntry = Entry{
+	T:    time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC),
+	Hive: "cachan-1", Device: "edge", Component: "pi3b",
+	Task: "Sleep", Dir: Consume, Joules: 111.6, Seconds: 178.5,
+	Store: "battery",
+}
+
+// BenchmarkLedgerAppend measures the enabled hot path: one mutex
+// round-trip plus an amortized slice append.
+func BenchmarkLedgerAppend(b *testing.B) {
+	l := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Append(benchEntry)
+	}
+}
+
+// BenchmarkLedgerAppendRing measures flight-recorder mode, whose
+// steady state overwrites in place and never allocates.
+func BenchmarkLedgerAppendRing(b *testing.B) {
+	l, err := NewRing(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Append(benchEntry)
+	}
+}
+
+// BenchmarkLedgerAppendNil measures the disabled path every
+// instrumented package pays when no ledger is attached: a single nil
+// check. The DES-loop bound lives in the root bench suite
+// (BenchmarkDESLoopLedgerNil, <= 5% over the bare loop).
+func BenchmarkLedgerAppendNil(b *testing.B) {
+	var l *Ledger
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Append(benchEntry)
+	}
+}

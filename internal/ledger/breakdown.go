@@ -1,0 +1,153 @@
+package ledger
+
+// Aggregation for reporting: per-hive/per-task energy breakdowns in
+// the shape of the paper's Tables I/II, and two-run diffs showing
+// which component's energy moved between scenarios (the Section V
+// edge vs edge+cloud comparison, regenerated from simulation output).
+
+import (
+	"math"
+	"sort"
+)
+
+// RowKey identifies one breakdown row.
+type RowKey struct {
+	Hive      string
+	Device    string
+	Component string
+	Task      string
+	Dir       Direction
+}
+
+// Row is one aggregated breakdown line.
+type Row struct {
+	RowKey
+	Joules  float64
+	Seconds float64
+	Count   int
+}
+
+// Breakdown aggregates entries into per-(hive, device, component,
+// task, direction) rows, sorted by hive, then device, component, task
+// and direction — a deterministic order for tables and diffs. The hive
+// filter limits the aggregation when non-empty.
+func Breakdown(entries []Entry, hive string) []Row {
+	acc := map[RowKey]*Row{}
+	for _, e := range entries {
+		if hive != "" && e.Hive != hive {
+			continue
+		}
+		k := RowKey{Hive: e.Hive, Device: e.Device, Component: e.Component,
+			Task: e.Task, Dir: e.Dir}
+		r := acc[k]
+		if r == nil {
+			r = &Row{RowKey: k}
+			acc[k] = r
+		}
+		r.Joules += e.Joules
+		r.Seconds += e.Seconds
+		r.Count++
+	}
+	out := make([]Row, 0, len(acc))
+	for _, r := range acc {
+		out = append(out, *r)
+	}
+	sortRows(out)
+	return out
+}
+
+func sortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Hive != b.Hive {
+			return a.Hive < b.Hive
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		return a.Dir < b.Dir
+	})
+}
+
+// Hives returns the distinct hive ids appearing in entries, sorted.
+func Hives(entries []Entry) []string {
+	seen := map[string]bool{}
+	for _, e := range entries {
+		seen[e.Hive] = true
+	}
+	out := make([]string, 0, len(seen))
+	for h := range seen {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DiffRow is one row of a two-run comparison. The hive dimension is
+// collapsed: a run diff asks where the fleet's joules moved, not which
+// hive moved them.
+type DiffRow struct {
+	Device    string
+	Component string
+	Task      string
+	Dir       Direction
+	AJ, BJ    float64 // totals in run A and run B
+	DeltaJ    float64 // BJ − AJ: positive means run B spends more here
+}
+
+// Diff compares two entry sets, aggregating each by (device,
+// component, task, direction) and reporting every row present in
+// either, sorted by |delta| descending (largest energy movement
+// first), then by key for determinism.
+func Diff(a, b []Entry) []DiffRow {
+	type key struct {
+		Device, Component, Task string
+		Dir                     Direction
+	}
+	sum := func(entries []Entry) map[key]float64 {
+		m := map[key]float64{}
+		for _, e := range entries {
+			m[key{e.Device, e.Component, e.Task, e.Dir}] += e.Joules
+		}
+		return m
+	}
+	as, bs := sum(a), sum(b)
+	keys := map[key]bool{}
+	for k := range as {
+		keys[k] = true
+	}
+	for k := range bs {
+		keys[k] = true
+	}
+	out := make([]DiffRow, 0, len(keys))
+	for k := range keys {
+		out = append(out, DiffRow{
+			Device: k.Device, Component: k.Component, Task: k.Task, Dir: k.Dir,
+			AJ: as[k], BJ: bs[k], DeltaJ: bs[k] - as[k],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := math.Abs(out[i].DeltaJ), math.Abs(out[j].DeltaJ)
+		if di != dj {
+			return di > dj
+		}
+		a, b := out[i], out[j]
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		return a.Dir < b.Dir
+	})
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"time"
 
+	"beesim/internal/ledger"
 	"beesim/internal/obs"
 	"beesim/internal/rng"
 	"beesim/internal/units"
@@ -83,6 +84,10 @@ type Link struct {
 	hSeconds   *obs.Histogram
 	tr         *obs.Tracer
 	clock      func() time.Time
+
+	// Energy-ledger probe; nil-safe no-op until AttachLedger.
+	lg     *ledger.Ledger
+	lgHive string
 }
 
 // Metric names emitted by an instrumented link.
@@ -107,6 +112,22 @@ func (l *Link) Instrument(m *obs.Registry, tr *obs.Tracer, clock func() time.Tim
 		l.tr = tr
 		l.clock = clock
 	}
+}
+
+// AttachLedger wires the energy ledger: each Send appends the radio's
+// extra transmit energy as an attribution-only consume entry. The
+// entries carry no store because the task-level power envelopes already
+// include the radio draw — binding them to the battery would count the
+// same joules twice and fail the conservation audit. clock supplies the
+// virtual start time of each transfer; entries are skipped when lg or
+// clock is nil.
+func (l *Link) AttachLedger(lg *ledger.Ledger, hive string, clock func() time.Time) {
+	if clock == nil {
+		return
+	}
+	l.lg = lg
+	l.lgHive = hive
+	l.clock = clock
 }
 
 // NewLink creates a link from the configuration.
@@ -159,6 +180,13 @@ func (l *Link) Send(payload Bytes) Transfer {
 			"bytes":        int64(payload),
 			"throughput_b": tput,
 			"tx_joules":    float64(t.ExtraEnergy),
+		})
+	}
+	if l.lg != nil && t.ExtraEnergy > 0 {
+		l.lg.Append(ledger.Entry{
+			T: l.clock(), Hive: l.lgHive, Device: "edge", Component: "radio",
+			Task: "uplink transfer", Dir: ledger.Consume,
+			Joules: float64(t.ExtraEnergy), Seconds: d.Seconds(),
 		})
 	}
 	return t

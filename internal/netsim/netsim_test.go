@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"beesim/internal/ledger"
 	"beesim/internal/stats"
 )
 
@@ -127,5 +128,32 @@ func TestSeedDeterminism(t *testing.T) {
 		if a.Send(Image800x600).Duration != b.Send(Image800x600).Duration {
 			t.Fatal("equal seeds diverged")
 		}
+	}
+}
+
+func TestLinkLedgerRecordsRadioOverlay(t *testing.T) {
+	l, err := NewLink(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := ledger.New()
+	at := time.Date(2023, 4, 10, 6, 0, 0, 0, time.UTC)
+	l.AttachLedger(lg, "cachan-1", func() time.Time { return at })
+	tr := l.Send(RoutinePayload())
+	entries := lg.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Component != "radio" || e.Dir != ledger.Consume ||
+		e.Joules != float64(tr.ExtraEnergy) || e.Store != "" {
+		t.Fatalf("entry = %+v (transfer %+v)", e, tr)
+	}
+	// AttachLedger without a clock must stay inert, not panic in Send.
+	l2, _ := NewLink(DefaultConfig())
+	l2.AttachLedger(lg, "h", nil)
+	l2.Send(ScalarBatch)
+	if lg.Len() != 1 {
+		t.Fatalf("clockless attach recorded entries: %d", lg.Len())
 	}
 }

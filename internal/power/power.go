@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"beesim/internal/ledger"
 	"beesim/internal/units"
 )
 
@@ -50,6 +51,29 @@ func Sum(tasks []Task) (units.Joules, time.Duration) {
 		d += t.Duration
 	}
 	return e, d
+}
+
+// RecordTasks appends a task sequence to the energy ledger as consume
+// entries, one per task, advancing the virtual clock by each task's
+// duration — the ledger equivalent of tracing a duty cycle. device and
+// component attribute the consumer; store binds the entries to a
+// conservation balance ("" for attribution-only overlays such as
+// grid-powered cloud tasks). It returns the time after the last task.
+// A nil ledger records nothing but still advances time, so callers can
+// share the same clock arithmetic on instrumented and bare runs.
+func RecordTasks(lg *ledger.Ledger, at time.Time, hive, device, component, store string, tasks []Task) time.Time {
+	for _, t := range tasks {
+		if lg != nil && (t.Energy != 0 || t.Duration != 0) {
+			lg.Append(ledger.Entry{
+				T: at, Hive: hive, Device: device, Component: component,
+				Task: t.Name, Dir: ledger.Consume,
+				Joules: float64(t.Energy), Seconds: t.Duration.Seconds(),
+				Store: store,
+			})
+		}
+		at = at.Add(t.Duration)
+	}
+	return at
 }
 
 // Pi3B is the Raspberry Pi 3B+ edge-node energy model.

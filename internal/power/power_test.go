@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"beesim/internal/ledger"
 )
 
 func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
@@ -161,5 +163,37 @@ func TestTaskString(t *testing.T) {
 	s := DefaultPi3B().WakeAndCollect().String()
 	if s == "" || len(s) < 20 {
 		t.Fatalf("task string too short: %q", s)
+	}
+}
+
+func TestRecordTasksAdvancesClockAndAttributes(t *testing.T) {
+	pi := DefaultPi3B()
+	tasks := []Task{pi.WakeAndCollect(), pi.InferCNN(), pi.SendResults()}
+	lg := ledger.New()
+	at := time.Date(2023, 4, 10, 6, 0, 0, 0, time.UTC)
+	end := RecordTasks(lg, at, "cachan-1", "edge", "pi3b", "battery", tasks)
+
+	_, wantDur := Sum(tasks)
+	if got := end.Sub(at); got != wantDur {
+		t.Fatalf("clock advanced %v, want %v", got, wantDur)
+	}
+	entries := lg.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(entries))
+	}
+	for i, e := range entries {
+		if e.Task != tasks[i].Name || e.Dir != ledger.Consume ||
+			e.Joules != float64(tasks[i].Energy) || e.Store != "battery" {
+			t.Fatalf("entry %d = %+v, want task %v", i, e, tasks[i])
+		}
+	}
+	// Each entry's timestamp is the task's start, in sequence.
+	if entries[1].T != at.Add(tasks[0].Duration) {
+		t.Fatalf("entry 1 at %v, want %v", entries[1].T, at.Add(tasks[0].Duration))
+	}
+
+	// Nil ledger: same clock arithmetic, no entries.
+	if got := RecordTasks(nil, at, "h", "edge", "pi3b", "", tasks); got != end {
+		t.Fatalf("nil-ledger clock = %v, want %v", got, end)
 	}
 }

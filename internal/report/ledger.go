@@ -1,0 +1,34 @@
+package report
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"beesim/internal/ledger"
+)
+
+// WriteLedgerCSV writes a ledger breakdown (per hive, device,
+// component, task and direction) as CSV — the spreadsheet twin of
+// hivereport's tables.
+func WriteLedgerCSV(w io.Writer, rows []ledger.Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"hive", "device", "component", "task", "direction",
+		"joules", "seconds", "entries",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Hive, r.Device, r.Component, r.Task, r.Dir.String(),
+			strconv.FormatFloat(r.Joules, 'g', -1, 64),
+			strconv.FormatFloat(r.Seconds, 'g', -1, 64),
+			strconv.Itoa(r.Count),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,39 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"beesim/internal/ledger"
+)
+
+func TestWriteLedgerCSV(t *testing.T) {
+	lg := ledger.New()
+	at := time.Date(2023, 4, 10, 6, 0, 0, 0, time.UTC)
+	lg.Append(ledger.Entry{T: at, Hive: "h1", Device: "edge", Component: "pi3b",
+		Task: "Sleep", Dir: ledger.Consume, Joules: 2.5, Seconds: 4, Store: "battery"})
+	lg.Append(ledger.Entry{T: at, Hive: "h1", Device: "edge", Component: "pi3b",
+		Task: "Sleep", Dir: ledger.Consume, Joules: 2.5, Seconds: 4, Store: "battery"})
+	lg.Append(ledger.Entry{T: at, Hive: "h1", Device: "battery", Component: "pack",
+		Task: "charge", Dir: ledger.Harvest, Joules: 10, Store: "battery"})
+
+	var buf bytes.Buffer
+	if err := WriteLedgerCSV(&buf, ledger.Breakdown(lg.Entries(), "")); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // header + 2 aggregated rows
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "hive,device,component,task,direction,joules,seconds,entries" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "h1,battery,pack,charge,harvest,10,0,1" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "h1,edge,pi3b,Sleep,consume,5,8,2" {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}

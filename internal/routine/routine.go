@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"beesim/internal/ledger"
 	"beesim/internal/netsim"
 	"beesim/internal/obs"
 	"beesim/internal/power"
@@ -123,6 +124,19 @@ func traceTasks(tr *obs.Tracer, cat string, tid int, start time.Time, tasks []po
 		})
 		at = at.Add(t.Duration)
 	}
+}
+
+// RecordLedger appends the cycle's task timelines to the energy ledger
+// starting at start — the ledger twin of Trace. Edge tasks draw from
+// the hive's battery, so they are store-bound ("battery"); cloud tasks
+// run on grid power and enter as attribution-only entries, keeping them
+// out of the battery's conservation balance while still visible in
+// per-task breakdowns (Table II's right-hand column). It returns the
+// time after the edge timeline. A nil ledger records nothing.
+func (c Cycle) RecordLedger(lg *ledger.Ledger, hive string, start time.Time) time.Time {
+	end := power.RecordTasks(lg, start, hive, "edge", "pi3b", "battery", c.EdgeTasks)
+	power.RecordTasks(lg, start, hive, "cloud", "server", "", c.CloudTasks)
+	return end
 }
 
 // Build assembles the cycle for a spec from the calibrated device models.

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"beesim/internal/ledger"
 	"beesim/internal/netsim"
 	"beesim/internal/power"
 )
@@ -274,5 +275,46 @@ func TestCampaignErrors(t *testing.T) {
 	}
 	if _, err := SimulateCampaign(power.DefaultPi3B(), nil, 10); err == nil {
 		t.Error("nil link accepted")
+	}
+}
+
+func TestRecordLedgerMirrorsTableII(t *testing.T) {
+	spec := Spec{Period: 5 * time.Minute, Model: CNN, Placement: EdgeCloud}
+	c, err := Build(power.DefaultPi3B(), power.DefaultCloud(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := ledger.New()
+	start := time.Date(2023, 4, 10, 6, 0, 0, 0, time.UTC)
+	end := c.RecordLedger(lg, "cachan-1", start)
+	if got := end.Sub(start); got != c.Duration() {
+		t.Fatalf("end-start = %v, want cycle duration %v", got, c.Duration())
+	}
+
+	var edgeJ, cloudJ float64
+	for _, e := range lg.Entries() {
+		switch e.Device {
+		case "edge":
+			if e.Store != "battery" {
+				t.Fatalf("edge entry not battery-bound: %+v", e)
+			}
+			edgeJ += e.Joules
+		case "cloud":
+			if e.Store != "" {
+				t.Fatalf("grid-powered cloud entry bound to a store: %+v", e)
+			}
+			cloudJ += e.Joules
+		}
+	}
+	if math.Abs(edgeJ-float64(c.EdgeEnergy())) > 1e-9 {
+		t.Fatalf("edge ledger total %v J, cycle %v J", edgeJ, c.EdgeEnergy())
+	}
+	if math.Abs(cloudJ-float64(c.CloudEnergy())) > 1e-9 {
+		t.Fatalf("cloud ledger total %v J, cycle %v J", cloudJ, c.CloudEnergy())
+	}
+
+	// Nil ledger still returns the advanced clock.
+	if got := c.RecordLedger(nil, "h", start); got != end {
+		t.Fatalf("nil-ledger end = %v, want %v", got, end)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"beesim/internal/core"
+	"beesim/internal/ledger"
 	"beesim/internal/netsim"
 	"beesim/internal/power"
 	"beesim/internal/routine"
@@ -236,6 +237,11 @@ type PlacementPlan struct {
 	// CloudShare is the per-client server energy under the plan, for the
 	// given fleet size.
 	CloudShare units.Joules
+	// PerService is each service's incremental edge energy: the
+	// inference cost when edge-placed, the upload cost when
+	// cloud-placed. The bundle's shared overhead (collect, shutdown,
+	// result send, sleep) is EdgeEnergy minus the PerService sum.
+	PerService map[Kind]units.Joules
 }
 
 // PlanBundle decides, service by service, where a bundle should run for
@@ -252,7 +258,11 @@ func PlanBundle(b Bundle, n int, spec core.ServerSpec, l core.Losses) (Placement
 		return PlacementPlan{}, errors.New("services: need at least one hive")
 	}
 	pi := power.DefaultPi3B()
-	plan := PlacementPlan{Period: b.Period, Decisions: map[Kind]routine.Placement{}}
+	plan := PlacementPlan{
+		Period:     b.Period,
+		Decisions:  map[Kind]routine.Placement{},
+		PerService: map[Kind]units.Joules{},
+	}
 
 	collect := pi.WakeAndCollect()
 	shutdown := pi.Shutdown()
@@ -282,13 +292,16 @@ func PlanBundle(b Bundle, n int, spec core.ServerSpec, l core.Losses) (Placement
 			if err != nil {
 				return PlacementPlan{}, err
 			}
-			activeEnergy += sendPower.Energy(dur)
+			upload := sendPower.Energy(dur)
+			activeEnergy += upload
 			activeDur += dur
+			plan.PerService[k] = upload
 			plan.CloudShare += rec.EdgeCloudPerClient - svc.EdgeCloudCycle
 		} else {
 			e, dur := p.EdgeCost()
 			activeEnergy += e
 			activeDur += dur
+			plan.PerService[k] = e
 			anyEdge = true
 		}
 	}
@@ -307,4 +320,49 @@ func PlanBundle(b Bundle, n int, spec core.ServerSpec, l core.Losses) (Placement
 // TotalPerClient returns the plan's combined per-client energy.
 func (p PlacementPlan) TotalPerClient() units.Joules {
 	return p.EdgeEnergy + p.CloudShare
+}
+
+// SharedEnergy returns the edge energy not attributable to any single
+// service: data collection, shutdown, result send and sleep.
+func (p PlacementPlan) SharedEnergy() units.Joules {
+	shared := p.EdgeEnergy
+	for _, e := range p.PerService {
+		shared -= e
+	}
+	return shared
+}
+
+// RecordLedger appends the plan's per-cycle energy breakdown to the
+// ledger at virtual time at: one consume entry per service (its
+// incremental edge cost, labeled with the placement decision), one for
+// the shared cycle overhead, and one for the per-client cloud share.
+// All entries are attribution-only — a plan is a projection, not a
+// simulated battery flow. A nil ledger records nothing.
+func (p PlacementPlan) RecordLedger(lg *ledger.Ledger, hive string, at time.Time) {
+	if lg == nil {
+		return
+	}
+	for _, k := range AllKinds() {
+		e, ok := p.PerService[k]
+		if !ok {
+			continue
+		}
+		lg.Append(ledger.Entry{
+			T: at, Hive: hive, Device: "edge", Component: "pi3b",
+			Task: fmt.Sprintf("%v (%v)", k, p.Decisions[k]),
+			Dir:  ledger.Consume, Joules: float64(e),
+		})
+	}
+	lg.Append(ledger.Entry{
+		T: at, Hive: hive, Device: "edge", Component: "pi3b",
+		Task: "shared cycle overhead", Dir: ledger.Consume,
+		Joules: float64(p.SharedEnergy()), Seconds: p.Period.Seconds(),
+	})
+	if p.CloudShare > 0 {
+		lg.Append(ledger.Entry{
+			T: at, Hive: hive, Device: "cloud", Component: "server",
+			Task: "per-client share", Dir: ledger.Consume,
+			Joules: float64(p.CloudShare), Seconds: p.Period.Seconds(),
+		})
+	}
 }

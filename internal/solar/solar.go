@@ -14,6 +14,7 @@ import (
 	"math"
 	"time"
 
+	"beesim/internal/ledger"
 	"beesim/internal/units"
 )
 
@@ -120,6 +121,40 @@ func (p Panel) Output(irr units.WattsPerSquareMeter) (units.Watts, bool) {
 		raw = float64(p.RatedPower)
 	}
 	return units.Watts(raw * p.ConverterEfficiency), true
+}
+
+// Meter records panel production in the energy ledger. Its entries are
+// attribution-only (no store): the joules actually banked are recorded
+// by the battery's own charge probe — after converter curtailment and
+// charge efficiency — so the panel overlay must stay out of the
+// conservation balance or every stored joule would count twice. A nil
+// meter is a no-op, matching the repo's probe idiom.
+type Meter struct {
+	lg   *ledger.Ledger
+	hive string
+}
+
+// NewMeter wires a production meter for one hive's panel. Returns nil
+// (a valid no-op meter) when lg is nil.
+func NewMeter(lg *ledger.Ledger, hive string) *Meter {
+	if lg == nil {
+		return nil
+	}
+	return &Meter{lg: lg, hive: hive}
+}
+
+// Record appends one production observation: power p sustained for d at
+// virtual time t. Zero production intervals are skipped, so a night of
+// brownout adds no entries.
+func (m *Meter) Record(t time.Time, p units.Watts, d time.Duration) {
+	if m == nil || p <= 0 || d <= 0 {
+		return
+	}
+	m.lg.Append(ledger.Entry{
+		T: t, Hive: m.hive, Device: "panel", Component: "pv",
+		Task: "panel output", Dir: ledger.Harvest,
+		Joules: float64(p.Energy(d)), Seconds: d.Seconds(),
+	})
 }
 
 // Daylight reports whether the sun is above the horizon at the location.

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"beesim/internal/ledger"
 )
 
 // Spring noon/midnight in Cachan, expressed in UTC (TZ offset +2).
@@ -150,5 +152,33 @@ func TestIrradianceContinuityAcrossDays(t *testing.T) {
 	b := ClearSkyIrradiance(Cachan, time.Date(2023, 4, 16, 0, 1, 0, 0, time.UTC))
 	if a != 0 || b != 0 {
 		t.Fatalf("irradiance around midnight = %v, %v, want 0, 0", a, b)
+	}
+}
+
+func TestMeterRecordsAttributionOnly(t *testing.T) {
+	lg := ledger.New()
+	m := NewMeter(lg, "cachan-1")
+	at := time.Date(2023, 4, 10, 12, 0, 0, 0, time.UTC)
+	m.Record(at, 20, time.Minute)
+	m.Record(at, 0, time.Minute) // night: skipped
+	m.Record(at, 20, 0)          // degenerate: skipped
+	entries := lg.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Dir != ledger.Harvest || e.Store != "" || e.Joules != 20*60 {
+		t.Fatalf("entry = %+v", e)
+	}
+	// Attribution-only entries never disturb conservation.
+	if rep := ledger.Audit(lg, ledger.DefaultTolerance()); !rep.OK() {
+		t.Fatalf("panel overlay entered the balance: %v", rep.Violations)
+	}
+
+	// Nil-safe: a nil meter (or nil ledger) records nothing.
+	var nilM *Meter
+	nilM.Record(at, 20, time.Minute)
+	if NewMeter(nil, "h") != nil {
+		t.Fatal("NewMeter(nil) should return the no-op nil meter")
 	}
 }

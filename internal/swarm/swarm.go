@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"beesim/internal/dsp"
+	"beesim/internal/ledger"
 	"beesim/internal/obs"
 )
 
@@ -132,6 +133,11 @@ type Predictor struct {
 	mAlarms *obs.Counter
 	gRisk   *obs.Gauge
 	hPiping *obs.Histogram
+
+	// Energy-ledger probe; nil-safe no-op until AttachLedger.
+	lg     *ledger.Ledger
+	lgHive string
+	lgObsJ float64
 }
 
 // Metric names emitted by an instrumented predictor.
@@ -150,6 +156,18 @@ func (p *Predictor) Instrument(m *obs.Registry) {
 	p.gRisk = m.Gauge(MetricRisk)
 	p.hPiping = m.Histogram(MetricPipingScore,
 		[]float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9})
+}
+
+// AttachLedger wires the energy ledger: each Observe appends the
+// swarm-prediction service's per-observation edge energy (joulesPerObs,
+// from the service catalog's edge cost) as an attribution-only consume
+// entry at the observation's own time. The entries carry no store —
+// the inference energy is already inside the routine's task envelope;
+// this overlay only attributes it to the service.
+func (p *Predictor) AttachLedger(lg *ledger.Ledger, hive string, joulesPerObs float64) {
+	p.lg = lg
+	p.lgHive = hive
+	p.lgObsJ = joulesPerObs
 }
 
 // NewPredictor creates a predictor.
@@ -189,6 +207,12 @@ func (p *Predictor) Observe(ob Observation) float64 {
 	p.gRisk.Set(p.risk)
 	if !wasAlarm && p.Alarm() {
 		p.mAlarms.Inc()
+	}
+	if p.lg != nil && p.lgObsJ > 0 {
+		p.lg.Append(ledger.Entry{
+			T: ob.Time, Hive: p.lgHive, Device: "edge", Component: "pi3b",
+			Task: "swarm prediction", Dir: ledger.Consume, Joules: p.lgObsJ,
+		})
 	}
 	return p.risk
 }

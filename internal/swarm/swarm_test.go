@@ -6,6 +6,7 @@ import (
 
 	"beesim/internal/audio"
 	"beesim/internal/hive"
+	"beesim/internal/ledger"
 )
 
 func clips(t *testing.T, state hive.QueenState, n int, seed uint64) [][]float64 {
@@ -150,5 +151,31 @@ func TestEndToEndPipingPipeline(t *testing.T) {
 	}
 	if p.Risk() < 0.2 {
 		t.Fatalf("risk after 8 piping clips = %v, want clearly elevated", p.Risk())
+	}
+}
+
+func TestPredictorLedgerAttributesObservations(t *testing.T) {
+	p, err := NewPredictor(DefaultPredictor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := ledger.New()
+	p.AttachLedger(lg, "lyon-2", 54.8)
+	at := time.Date(2023, 4, 10, 6, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		p.Observe(Observation{Time: at.Add(time.Duration(i) * time.Hour), Piping: 0.2, Activity: 0.5})
+	}
+	entries := lg.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(entries))
+	}
+	for i, e := range entries {
+		if e.Hive != "lyon-2" || e.Task != "swarm prediction" ||
+			e.Joules != 54.8 || e.Store != "" {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+		if e.T != at.Add(time.Duration(i)*time.Hour) {
+			t.Fatalf("entry %d at %v, keyed to wall clock?", i, e.T)
+		}
 	}
 }
