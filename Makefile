@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench verify bench-baseline
+.PHONY: all build test vet lint race bench verify bench-baseline
 
 all: verify
 
@@ -13,18 +13,29 @@ build:
 vet:
 	$(GO) vet ./...
 
+# beelint: the in-tree go/types linter for determinism and unit safety
+# (wall-clock reads, unseeded randomness, map-iteration-order leaks,
+# mixed-unit float casts, goroutines in DES handlers, naive Joule
+# accumulation). Zero unsuppressed findings is part of the tier-1 gate;
+# see docs/LINTING.md.
+lint:
+	$(GO) run ./cmd/beelint ./...
+
 test:
 	$(GO) test ./...
 
-# The protocol server, the DES engine, and the energy ledger are the
-# concurrency-bearing packages; run them under the race detector on
-# every verify.
+# Every goroutine-spawning package plus its direct drivers runs under
+# the race detector on every verify: the protocol server (hivenet), the
+# DES engine, the mutex-guarded ledger/obs/store layers, and the
+# fan-out orchestration in swarm/experiments/deployment.
 race:
 	$(GO) test -race ./internal/hivenet/... ./internal/des/... \
-		./internal/ledger/... ./internal/deployment/...
+		./internal/ledger/... ./internal/deployment/... \
+		./internal/obs/... ./internal/store/... \
+		./internal/swarm/... ./internal/experiments/...
 
 # The tier-1 gate: what CI and pre-commit runs.
-verify: build vet test race
+verify: build vet lint test race
 
 # Benchmarks double as the reproduction report (paper figures as custom
 # metrics) and as the observability-overhead check (BenchmarkDESLoop*).

@@ -1,0 +1,152 @@
+// Command beelint runs the beesim determinism & unit-safety analyzer
+// suite (internal/lint) over the module and reports findings.
+//
+// Usage:
+//
+//	beelint [-C dir] [-json] [-list] [path prefixes...]
+//
+// With no arguments every package in the module is checked. Positional
+// arguments restrict checking to packages whose module-relative path
+// has one of the given prefixes ("internal/des", "cmd", ...); the
+// conventional "./..." means everything and is accepted for Makefile
+// ergonomics.
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+// or load errors. Output order is byte-stable across runs — both the
+// text form and -json — so CI diffs are meaningful.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"beesim/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("beelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", "", "module root (default: nearest go.mod above the working directory)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: beelint [-C dir] [-json] [-list] [path prefixes...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root := *dir
+	if root == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(stderr, "beelint:", err)
+			return 2
+		}
+		root, err = lint.FindModuleRoot(wd)
+		if err != nil {
+			fmt.Fprintln(stderr, "beelint:", err)
+			return 2
+		}
+	}
+
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "beelint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintln(stderr, "beelint:", err)
+		return 2
+	}
+
+	prefixes := prefixFilter(fs.Args())
+	runner := lint.NewRunner()
+	var findings []lint.Finding
+	for _, pkg := range pkgs {
+		if !prefixes.match(loader.ModulePath, pkg.Path) {
+			continue
+		}
+		findings = append(findings, runner.RunPackage(pkg, loader.Fset)...)
+	}
+	// Report module-relative paths: stable regardless of checkout
+	// location, and friendlier to read.
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].File); err == nil {
+			findings[i].File = filepath.ToSlash(rel)
+		}
+	}
+	lint.SortFindings(findings)
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "beelint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stdout, "beelint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// prefixes filters packages by module-relative path prefix.
+type prefixes []string
+
+func prefixFilter(args []string) prefixes {
+	var ps prefixes
+	for _, a := range args {
+		a = strings.TrimSuffix(a, "...")
+		a = strings.TrimSuffix(a, "/")
+		a = strings.TrimPrefix(a, "./")
+		if a == "" || a == "." {
+			return nil // "./..." and "." mean the whole module
+		}
+		ps = append(ps, filepath.ToSlash(a))
+	}
+	return ps
+}
+
+func (ps prefixes) match(modPath, pkgPath string) bool {
+	if len(ps) == 0 {
+		return true
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(pkgPath, modPath), "/")
+	if rel == "" {
+		rel = "."
+	}
+	for _, p := range ps {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}

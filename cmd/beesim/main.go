@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -318,8 +319,13 @@ func optimize(args []string) error {
 	fmt.Printf("optimum: wake every %v, slot capacity %d, %d server(s)\n",
 		res.Best.Period, res.Best.MaxParallel, res.Best.Servers)
 	fmt.Printf("  %.1f J/hive/cycle, %s fleet-wide per day\n", float64(res.Best.PerHive), res.Best.PerDay)
-	for k, p := range res.Best.Plan.Decisions {
-		fmt.Printf("  %-18v -> %v\n", k, p)
+	decided := make([]services.Kind, 0, len(res.Best.Plan.Decisions))
+	for k := range res.Best.Plan.Decisions {
+		decided = append(decided, k)
+	}
+	sort.Slice(decided, func(i, j int) bool { return decided[i] < decided[j] })
+	for _, k := range decided {
+		fmt.Printf("  %-18v -> %v\n", k, res.Best.Plan.Decisions[k])
 	}
 	fmt.Println("\nenergy/freshness frontier:")
 	t := report.NewTable("", "Wake period", "J/hive/cycle", "Fleet J/day", "Servers")

@@ -141,7 +141,7 @@ func agent(args []string) error {
 	defer a.Close()
 	fmt.Printf("hive %s connected, time slot %d\n", *hiveID, a.Slot())
 	for i := 0; i < *cycles; i++ {
-		res, err := a.RunCycle(q, 0.7, time.Now().UTC())
+		res, err := a.RunCycle(q, 0.7, time.Now().UTC()) //beelint:allow walltime live agent CLI stamps real reports; simulated agents pass virtual time here
 		if err != nil {
 			return err
 		}

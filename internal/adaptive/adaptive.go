@@ -23,6 +23,7 @@ import (
 	"beesim/internal/power"
 	"beesim/internal/routine"
 	"beesim/internal/solar"
+	"beesim/internal/stats"
 	"beesim/internal/units"
 	"beesim/internal/weather"
 )
@@ -175,15 +176,15 @@ func (p ForecastPolicy) Decide(obs Observation) Action {
 // location given the current cloudiness persisting (a standard
 // persistence forecast).
 func ForecastDay(loc solar.Location, panel solar.Panel, from time.Time, cloudCover float64) units.Joules {
-	var total units.Joules
+	var total stats.Kahan
 	const step = 15 * time.Minute
 	for t := from; t.Before(from.Add(24 * time.Hour)); t = t.Add(step) {
 		irr := solar.Irradiance(loc, t, cloudCover)
 		if out, ok := panel.Output(irr); ok {
-			total += out.Energy(step)
+			total.Add(float64(out.Energy(step)))
 		}
 	}
-	return total
+	return units.Joules(total.Sum())
 }
 
 // Config shapes a policy-comparison simulation.
@@ -250,6 +251,9 @@ func Simulate(cfg Config, policy Policy) (Result, error) {
 	res := Result{Policy: policy.Name(), MinSoC: cfg.InitialSoC}
 	end := cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
 
+	// Multi-day runs fold thousands of per-cycle quanta into the edge
+	// total; compensated summation keeps the result order-exact.
+	var edgeEnergy stats.Kahan
 	now := cfg.Start
 	for now.Before(end) {
 		sample := wx.At(now)
@@ -277,7 +281,7 @@ func Simulate(cfg Config, policy Policy) (Result, error) {
 		// Always-on loads: monitor + recorder sleep.
 		base := zero.ActivePower + pi.SleepPower
 		sustained := pack.Discharge(base, action.Period)
-		res.EdgeEnergy += base.Energy(sustained)
+		edgeEnergy.Add(float64(base.Energy(sustained)))
 
 		// The routine itself: the active energy above sleep, by placement.
 		if sustained == action.Period {
@@ -285,7 +289,7 @@ func Simulate(cfg Config, policy Policy) (Result, error) {
 			dur := active.Duration(pi.Routine().Power())
 			if got := pack.Discharge(active.Power(dur), dur); got == dur {
 				res.Routines++
-				res.EdgeEnergy += active
+				edgeEnergy.Add(float64(active))
 				if action.Placement == routine.EdgeCloud {
 					res.CloudCycles++
 				}
@@ -301,6 +305,7 @@ func Simulate(cfg Config, policy Policy) (Result, error) {
 		}
 		now = now.Add(action.Period)
 	}
+	res.EdgeEnergy = units.Joules(edgeEnergy.Sum())
 	res.FinalSoC = pack.SoC()
 	return res, nil
 }

@@ -32,6 +32,7 @@ import (
 	"beesim/internal/power"
 	"beesim/internal/rng"
 	"beesim/internal/routine"
+	"beesim/internal/stats"
 	"beesim/internal/units"
 )
 
@@ -315,7 +316,7 @@ func (a Allocation) ServerEnergy(srv Server) units.Joules {
 	recvExtra := svc.ReceivePower - spec.IdlePower
 	execExtra := svc.ExecPower - spec.IdlePower
 
-	var total units.Joules
+	var total stats.Kahan
 	for _, n := range srv.Slots {
 		var burst units.Joules
 		if n > 0 {
@@ -341,18 +342,18 @@ func (a Allocation) ServerEnergy(srv Server) units.Joules {
 				}
 			}
 		}
-		total += slotEnergy
+		total.Add(float64(slotEnergy))
 	}
-	return total
+	return units.Joules(total.Sum())
 }
 
 // TotalServerEnergy sums ServerEnergy over the allocation.
 func (a Allocation) TotalServerEnergy() units.Joules {
-	var total units.Joules
+	var total stats.Kahan
 	for _, srv := range a.Servers {
-		total += a.ServerEnergy(srv)
+		total.Add(float64(a.ServerEnergy(srv)))
 	}
-	return total
+	return units.Joules(total.Sum())
 }
 
 // CycleCost is the per-cycle energy outcome of one simulated fleet.

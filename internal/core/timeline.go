@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"beesim/internal/stats"
 	"beesim/internal/units"
 )
 
@@ -147,11 +148,11 @@ func (a Allocation) ServerTimeline(srv Server) ([]Span, error) {
 
 // TimelineEnergy integrates the timeline's power profile.
 func TimelineEnergy(spans []Span) units.Joules {
-	var total units.Joules
+	var total stats.Kahan
 	for _, s := range spans {
-		total += s.Energy()
+		total.Add(float64(s.Energy()))
 	}
-	return total
+	return units.Joules(total.Sum())
 }
 
 // SlotStart returns when a slot's upload window opens within the cycle —

@@ -248,7 +248,7 @@ func (a *Agent) Close() error {
 	}
 	_ = proto.Encode(a.conn, proto.TypeBye, nil, nil)
 	// Best effort: wait for the ack, then close either way.
-	_ = a.conn.SetReadDeadline(time.Now().Add(time.Second))
+	_ = a.conn.SetReadDeadline(time.Now().Add(time.Second)) //beelint:allow walltime read deadline on a real TCP socket
 	_, _ = proto.Decode(a.conn)
 	err := a.conn.Close()
 	a.conn = nil

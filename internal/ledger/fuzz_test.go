@@ -1,0 +1,64 @@
+package ledger
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSONL hammers the JSONL event-log decoder with hostile
+// input. Two properties must hold for every input:
+//
+//  1. ReadJSONL never panics — it either parses or returns an error.
+//  2. Anything it accepts round-trips: writing the parsed ledger and
+//     reading it back must reproduce the written bytes exactly, the
+//     same byte-stability bar the equal-seed export contract sets.
+func FuzzReadJSONL(f *testing.F) {
+	seeds := []string{
+		// A complete well-formed log.
+		`{"k":"hdr","v":1}
+{"k":"e","t":"2023-07-01T12:00:00Z","hive":"h1","dev":"edge","comp":"cpu","task":"detect","dir":"consume","j":1.25,"s":0.5,"store":"battery"}
+{"k":"e","t":"2023-07-01T12:00:01.5Z","dev":"panel","task":"harvest","dir":"harvest","j":3.5}
+{"k":"store","hive":"h1","store":"battery","initial_j":100,"final_j":98.25}
+`,
+		// Flight-recorder dump header and an unknown kind to skip.
+		`{"k":"hdr","v":1}
+{"k":"trip","reason":"audit","dropped":12}
+{"k":"future-kind","payload":true}
+`,
+		// Store-loss flow and exponent-heavy numbers.
+		`{"k":"e","t":"2023-07-01T00:00:00Z","dev":"d","task":"t","dir":"store-loss","j":1e-9}`,
+		// Malformed lines the decoder must reject, not crash on.
+		`{"k":"e","t":"not a time","dev":"d","task":"t","dir":"consume","j":1}`,
+		`{"k":"e","t":"2023-07-01T00:00:00Z","dev":"d","task":"t","dir":"sideways","j":1}`,
+		`{"k":"e","j":1e999}`,
+		`{"k":`,
+		`not json at all`,
+		"",
+		"\n\n\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		var first bytes.Buffer
+		if err := l.WriteJSONL(&first); err != nil {
+			t.Fatalf("write of accepted ledger failed: %v", err)
+		}
+		l2, err := ReadJSONL(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of own output failed: %v\noutput:\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := l2.WriteJSONL(&second); err != nil {
+			t.Fatalf("second write failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s",
+				first.Bytes(), second.Bytes())
+		}
+	})
+}

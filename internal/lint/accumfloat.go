@@ -1,0 +1,49 @@
+package lint
+
+// accumfloat: a week-long trace folds hundreds of thousands of small
+// energy quanta into running totals. Naive `total += e` in a loop
+// accumulates O(n·eps) rounding error — enough to trip the ledger's
+// conservation auditor at tight tolerances — and makes the final joule
+// count depend on summation order. Loop accumulation onto units.Joules
+// must go through compensated summation (stats.Kahan) or carry an
+// explicit //beelint:allow accumfloat justification (e.g. bounded loop
+// counts where the error is provably below the audit tolerance).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+type accumVisitor struct {
+	pass   *Pass
+	inLoop bool
+}
+
+func (v *accumVisitor) Visit(n ast.Node) ast.Visitor {
+	switch s := n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		return &accumVisitor{pass: v.pass, inLoop: true}
+	case *ast.AssignStmt:
+		if !v.inLoop || s.Tok != token.ADD_ASSIGN || len(s.Lhs) != 1 {
+			break
+		}
+		named, ok := unitsType(v.pass.Pkg.Info.TypeOf(s.Lhs[0]))
+		if !ok || named.Obj().Name() != "Joules" {
+			break
+		}
+		v.pass.Reportf(s.Pos(),
+			"+= on units.Joules inside a loop loses precision as the total grows; "+
+				"accumulate through stats.Kahan (compensated summation)")
+	}
+	return v
+}
+
+var analyzerAccumFloat = &Analyzer{
+	Name: "accumfloat",
+	Doc:  "naive += Joules accumulation in loops (use compensated summation)",
+	Run: func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			ast.Walk(&accumVisitor{pass: p}, f)
+		}
+	},
+}

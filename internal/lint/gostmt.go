@@ -1,0 +1,62 @@
+package lint
+
+// gostmt: the DES engine is single-threaded by design — determinism is
+// guaranteed by a sequence-numbered event calendar, and a goroutine
+// launched from inside an event handler races the calendar itself.
+// Concurrency belongs outside the simulation (the real TCP service) or
+// is expressed as interleaved events (des.Process). This analyzer flags
+// `go` statements inside function literals handed to the engine:
+// Sim.At/After/Every callbacks and Process.Then/ThenNamed stages.
+
+import (
+	"go/ast"
+)
+
+// desCallbackMethods maps des receiver type name -> methods whose
+// function-literal arguments run as event handlers.
+var desCallbackMethods = map[string]map[string]bool{
+	"Sim":     {"At": true, "After": true, "Every": true},
+	"Process": {"Then": true, "ThenNamed": true},
+}
+
+var analyzerGoStmt = &Analyzer{
+	Name: "gostmt",
+	Doc:  "go statements inside DES event handlers (the engine is single-threaded)",
+	Run: func(p *Pass) {
+		info := p.Pkg.Info
+		inspectFiles(p, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			named, ok := namedFrom(info.TypeOf(sel.X), "internal/des")
+			if !ok {
+				return true
+			}
+			methods := desCallbackMethods[named.Obj().Name()]
+			if methods == nil || !methods[sel.Sel.Name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				ast.Inspect(lit.Body, func(b ast.Node) bool {
+					if g, ok := b.(*ast.GoStmt); ok {
+						p.Reportf(g.Pos(),
+							"go statement inside a des.%s.%s handler: the event calendar is "+
+								"single-threaded; schedule further events instead of spawning goroutines",
+							named.Obj().Name(), sel.Sel.Name)
+					}
+					return true
+				})
+			}
+			return true
+		})
+	},
+}

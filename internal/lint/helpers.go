@@ -1,0 +1,71 @@
+package lint
+
+// Shared type-resolution helpers for the analyzers.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// fromPkgSuffix reports whether obj belongs to a package whose import
+// path is suffix or ends in "/"+suffix. Matching by suffix keeps the
+// analyzers independent of the module path, so fixture packages under
+// testdata exercise them with synthetic import paths.
+func fromPkgSuffix(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// pathHasSuffix is fromPkgSuffix over a raw import path.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// namedFrom returns the named type behind t (unwrapping pointers and
+// aliases) when it is declared in a package matching suffix.
+func namedFrom(t types.Type, suffix string) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj() == nil {
+		return nil, false
+	}
+	if !fromPkgSuffix(named.Obj().Pkg(), suffix) {
+		return nil, false
+	}
+	return named, true
+}
+
+// unitsType returns the internal/units named type behind t, if any.
+func unitsType(t types.Type) (*types.Named, bool) {
+	return namedFrom(t, "internal/units")
+}
+
+// pkgFuncRef reports whether sel is a reference to pkgPath.name — i.e.
+// a selector on a package identifier, resolved through the type info.
+func pkgFuncRef(info *types.Info, sel *ast.SelectorExpr, pkgPath string) (string, bool) {
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[ident].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// inspectFiles walks every file of the pass's package.
+func inspectFiles(p *Pass, fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,155 @@
+// Package lint is beelint: a static analyzer suite that enforces the
+// simulator's determinism and unit-safety invariants.
+//
+// The reproduction's whole value rests on byte-deterministic,
+// energy-conserving simulation — equal seeds must yield byte-identical
+// traces, metrics and ledgers, and the conservation auditor must
+// balance to the joule. Those properties are easy to break with code
+// that compiles fine: a time.Now in an event handler, a map iteration
+// feeding an export, a Joules laundered through float64 and added to
+// Watts. beelint turns each of those into a build failure.
+//
+// The suite is pure standard library (go/parser + go/types + a source
+// importer); it type-checks every package in the module and runs six
+// analyzers:
+//
+//	walltime     wall-clock reads outside real-I/O code
+//	unseededrand math/rand and crypto/rand imports outside internal/rng
+//	maprange     map iteration feeding slices, output or the ledger
+//	unitcast     float64 casts mixing distinct units types, and bare
+//	             constants passed where a units type is expected
+//	gostmt       goroutines launched inside DES event handlers
+//	accumfloat   naive += Joules accumulation in loops
+//
+// Findings can be suppressed — with a mandatory reason — by
+// //beelint:allow directives (see directive.go). docs/LINTING.md is the
+// user-facing reference.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one reported violation.
+type Finding struct {
+	// File is the path as recorded in the fileset (absolute for module
+	// loads), Line/Col the 1-based position.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Check is the analyzer name ("walltime", ...) or "directive" for
+	// malformed suppression directives.
+	Check string `json:"check"`
+	// Msg is the human-readable diagnosis.
+	Msg string `json:"msg"`
+}
+
+// String formats the finding in the conventional file:line:col style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Check, f.Msg)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	// Doc is a one-line description (shown by beelint -help and in
+	// docs/LINTING.md).
+	Doc string
+	Run func(*Pass)
+}
+
+// Pass is the per-package context handed to an analyzer.
+type Pass struct {
+	Pkg  *Package
+	Fset *token.FileSet
+
+	findings *[]Finding
+	check    string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		File:  position.Filename,
+		Line:  position.Line,
+		Col:   position.Column,
+		Check: p.check,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerWalltime,
+		analyzerUnseededRand,
+		analyzerMapRange,
+		analyzerUnitCast,
+		analyzerGoStmt,
+		analyzerAccumFloat,
+	}
+}
+
+// AnalyzerNames returns the known check names, including the implicit
+// "directive" check, for validating suppression directives.
+func AnalyzerNames() map[string]bool {
+	names := map[string]bool{"directive": true}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// Runner applies a set of analyzers to packages and filters the
+// findings through the packages' suppression directives.
+type Runner struct {
+	Analyzers []*Analyzer
+}
+
+// NewRunner returns a runner over the full suite.
+func NewRunner() *Runner { return &Runner{Analyzers: Analyzers()} }
+
+// RunPackage runs every analyzer over one package, validates the
+// package's //beelint:allow directives, applies suppressions, and
+// returns the surviving findings sorted by position.
+func (r *Runner) RunPackage(pkg *Package, fset *token.FileSet) []Finding {
+	var findings []Finding
+	for _, a := range r.Analyzers {
+		pass := &Pass{Pkg: pkg, Fset: fset, findings: &findings, check: a.Name}
+		a.Run(pass)
+	}
+	sup, directiveFindings := parseDirectives(pkg, fset)
+	findings = append(findings, directiveFindings...)
+	kept := findings[:0]
+	for _, f := range findings {
+		if !sup.suppressed(f) {
+			kept = append(kept, f)
+		}
+	}
+	return SortFindings(kept)
+}
+
+// SortFindings orders findings by (file, line, col, check, msg) so the
+// linter's output — text or JSON — is byte-stable across runs.
+func SortFindings(fs []Finding) []Finding {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+	return fs
+}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture corpus lives under testdata/src/<case>. Each case is a
+// self-contained package checked under a synthetic import path, so
+// path-suffix exemptions (internal/prof, internal/rng) can be
+// exercised without touching real module packages. Expected findings
+// are marked in the fixture source with "// want <check>" comments.
+
+var (
+	loaderOnce sync.Once
+	testLoad   *Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		testLoad, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return testLoad
+}
+
+func fixtureDir(t *testing.T, name string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("abs: %v", err)
+	}
+	return abs
+}
+
+// runFixture type-checks one fixture package and runs the full
+// analyzer suite (including directive validation and suppression).
+func runFixture(t *testing.T, l *Loader, name, importPath string) []Finding {
+	t.Helper()
+	pkg, err := l.Check(fixtureDir(t, name), importPath)
+	if err != nil {
+		t.Fatalf("check fixture %s: %v", name, err)
+	}
+	return NewRunner().RunPackage(pkg, l.Fset)
+}
+
+// parseWants reads every fixture file and collects "basename:line: check"
+// expectations from trailing "// want <check> [<check>...]" comments.
+func parseWants(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var wants []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("read fixture file: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, tail, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, check := range strings.Fields(tail) {
+				wants = append(wants, fmt.Sprintf("%s:%d: %s", e.Name(), i+1, check))
+			}
+		}
+	}
+	sort.Strings(wants)
+	return wants
+}
+
+func findingKeys(fs []Finding) []string {
+	keys := make([]string, 0, len(fs))
+	for _, f := range fs {
+		keys = append(keys, fmt.Sprintf("%s:%d: %s", filepath.Base(f.File), f.Line, f.Check))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func diffKeys(t *testing.T, name string, got, want []string, fs []Finding) {
+	t.Helper()
+	gotSet := map[string]int{}
+	for _, k := range got {
+		gotSet[k]++
+	}
+	wantSet := map[string]int{}
+	for _, k := range want {
+		wantSet[k]++
+	}
+	for _, k := range want {
+		if gotSet[k] < wantSet[k] {
+			t.Errorf("%s: missing expected finding %s", name, k)
+			wantSet[k] = gotSet[k]
+		}
+	}
+	for _, k := range got {
+		if wantSet[k] < gotSet[k] {
+			t.Errorf("%s: unexpected finding %s", name, k)
+			gotSet[k] = wantSet[k]
+		}
+	}
+	if t.Failed() {
+		for _, f := range fs {
+			t.Logf("%s: got %s", name, f)
+		}
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		name       string
+		importPath string
+	}{
+		{"walltime", "fixture/walltime"},
+		{"proffixture", "fixture/internal/prof"},
+		{"unseededrand", "fixture/unseededrand"},
+		{"rngself", "fixture/internal/rng"},
+		{"maprange", "fixture/maprange"},
+		{"unitcast", "fixture/unitcast"},
+		{"gostmt", "fixture/gostmt"},
+		{"accumfloat", "fixture/accumfloat"},
+		{"suppress", "fixture/suppress"},
+		{"suppressfile", "fixture/suppressfile"},
+	}
+	l := sharedLoader(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := runFixture(t, l, tc.name, tc.importPath)
+			diffKeys(t, tc.name, findingKeys(fs), parseWants(t, fixtureDir(t, tc.name)), fs)
+		})
+	}
+}
+
+// TestMalformedDirectives pins the directive contract: a directive
+// without a reason or with an unknown check is itself a finding, and
+// suppresses nothing. Expectations are spelled out by hand because the
+// malformed directives occupy the comment slot a want marker would use.
+func TestMalformedDirectives(t *testing.T) {
+	l := sharedLoader(t)
+	fs := runFixture(t, l, "suppressbad", "fixture/suppressbad")
+	want := []string{
+		"suppressbad.go:8: directive",  // missing reason
+		"suppressbad.go:8: walltime",   // ...so the finding survives
+		"suppressbad.go:12: directive", // unknown check name
+		"suppressbad.go:15: directive", // bare directive, no reason
+	}
+	sort.Strings(want)
+	diffKeys(t, "suppressbad", findingKeys(fs), want, fs)
+}
+
+// TestFindingsDeterministic re-runs the whole fixture corpus on a
+// fresh loader and requires byte-identical JSON, the same contract
+// cmd/beelint -json exposes.
+func TestFindingsDeterministic(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	run := func() []byte {
+		l, err := NewLoader(root)
+		if err != nil {
+			t.Fatalf("loader: %v", err)
+		}
+		var all []Finding
+		for _, tc := range []struct{ name, path string }{
+			{"walltime", "fixture/walltime"},
+			{"unseededrand", "fixture/unseededrand"},
+			{"maprange", "fixture/maprange"},
+			{"unitcast", "fixture/unitcast"},
+			{"gostmt", "fixture/gostmt"},
+			{"accumfloat", "fixture/accumfloat"},
+			{"suppressbad", "fixture/suppressbad"},
+		} {
+			all = append(all, runFixture(t, l, tc.name, tc.path)...)
+		}
+		all = SortFindings(all)
+		data, err := json.MarshalIndent(all, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Errorf("findings JSON differs between runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestModuleClean runs the full analyzer suite over the real module:
+// the tree must stay free of unsuppressed findings, which is the same
+// bar make verify enforces through cmd/beelint.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type check is slow; run without -short")
+	}
+	l := sharedLoader(t)
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	r := NewRunner()
+	var all []Finding
+	for _, pkg := range pkgs {
+		all = append(all, r.RunPackage(pkg, l.Fset)...)
+	}
+	for _, f := range all {
+		t.Errorf("module not lint-clean: %s", f)
+	}
+}

@@ -1,0 +1,216 @@
+package lint
+
+// maprange: Go randomizes map iteration order on purpose, so a
+// `for range` over a map that appends to a slice, writes output, or
+// feeds the ledger/trace produces a different byte stream every run —
+// the classic way a "deterministic" export quietly isn't.
+//
+// One idiom is recognized as safe: collect-then-sort. When the slice a
+// map range appends to is later passed to a sorting call in the same
+// function (sort.*, slices.Sort*, or any callee whose name contains
+// "sort"), the iteration order washes out and no finding is reported.
+// Everything else — printing, io/bufio/builder writes, JSON encoding,
+// ledger/obs mutation — is order-observable and flagged. The fix is
+// always the same: iterate over sorted keys.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// mutatingSinkMethods are method names that push data into the ledger
+// or observability layer; pure reads (Value, Count, Snapshot) are not
+// sinks.
+var mutatingSinkMethods = map[string]bool{
+	"Append": true, "Add": true, "Inc": true, "Set": true,
+	"Observe": true, "Emit": true, "Record": true, "Trip": true,
+}
+
+// orderSink classifies a call inside a map-range body that makes
+// iteration order observable. It returns a short description (or "")
+// and, for appends, the rendered append target for the
+// collect-then-sort exemption.
+func orderSink(info *types.Info, n ast.Node) (desc string, appendTarget ast.Expr) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "", nil
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "append" && len(call.Args) > 0 {
+			if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+				return "a slice append", call.Args[0]
+			}
+		}
+	case *ast.SelectorExpr:
+		if name, ok := pkgFuncRef(info, fun, "fmt"); ok {
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return "fmt output", nil
+			}
+		}
+		switch fun.Sel.Name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return "a " + fun.Sel.Name + " call", nil
+		}
+		recv := info.TypeOf(fun.X)
+		if mutatingSinkMethods[fun.Sel.Name] {
+			if _, ok := namedFrom(recv, "internal/ledger"); ok {
+				return "the energy ledger", nil
+			}
+			if _, ok := namedFrom(recv, "internal/obs"); ok {
+				return "the observability layer", nil
+			}
+		}
+	}
+	return "", nil
+}
+
+// rootIdent unwraps selectors and index expressions down to the
+// leftmost identifier (hs.Buckets -> hs, rows[i] -> rows).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether the identifier's object is declared
+// inside the given node — an append onto a variable created fresh each
+// iteration is order-insensitive.
+func declaredWithin(info *types.Info, id *ast.Ident, n ast.Node) bool {
+	if id == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}
+
+// sortedLater reports whether, after pos, the function body calls a
+// sorting function with target among its arguments.
+func sortedLater(info *types.Info, body *ast.BlockStmt, pos ast.Node, target string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos.End() || !sortishCallee(info, call.Fun) {
+			return true
+		}
+		for _, a := range call.Args {
+			if types.ExprString(a) == target {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortishCallee recognizes sort.*, slices.Sort*, and local helpers
+// whose name mentions sorting (sortRows, ...).
+func sortishCallee(info *types.Info, fun ast.Expr) bool {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(f.Name), "sort")
+	case *ast.SelectorExpr:
+		if _, ok := pkgFuncRef(info, f, "sort"); ok {
+			return true
+		}
+		if name, ok := pkgFuncRef(info, f, "slices"); ok {
+			return strings.HasPrefix(name, "Sort")
+		}
+		return strings.Contains(strings.ToLower(f.Sel.Name), "sort")
+	}
+	return false
+}
+
+// checkMapRanges examines the map ranges directly inside one function
+// body (nested function literals are visited on their own, so the
+// collect-then-sort search runs against the right scope).
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		reported := ""
+		ast.Inspect(rng.Body, func(b ast.Node) bool {
+			if reported != "" {
+				return false
+			}
+			desc, target := orderSink(info, b)
+			if desc == "" {
+				return true
+			}
+			if target != nil {
+				// Appends onto per-iteration locals are order-insensitive;
+				// appends later sorted in this function wash the order out.
+				if declaredWithin(info, rootIdent(target), rng.Body) {
+					return true
+				}
+				if sortedLater(info, body, rng, types.ExprString(target)) {
+					return true
+				}
+			}
+			reported = desc
+			return false
+		})
+		if reported != "" {
+			p.Reportf(rng.Pos(),
+				"map iteration order is nondeterministic but this loop feeds %s; "+
+					"iterate over sorted keys instead", reported)
+		}
+		return true
+	})
+}
+
+var analyzerMapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "map iteration feeding slices, output, or the ledger/trace (nondeterministic order)",
+	Run: func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					body = fn.Body
+				case *ast.FuncLit:
+					body = fn.Body
+				}
+				if body != nil {
+					checkMapRanges(p, body)
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,41 @@
+package lint
+
+// unseededrand: every stochastic draw in beesim flows through
+// internal/rng (xoshiro256** behind a fixed seed) so that the paper's
+// figures — Gaussian client-loss spikes included — are reproducible
+// bit for bit and independent of the Go release. math/rand's stream
+// changes across Go versions and its global source is shared mutable
+// state; crypto/rand is nondeterministic by design. Neither belongs in
+// simulator code.
+
+import "strconv"
+
+var bannedRandImports = map[string]string{
+	"math/rand":    "its stream varies across Go releases and its default source is global state",
+	"math/rand/v2": "its stream is not guaranteed stable for reproduction purposes",
+	"crypto/rand":  "it is nondeterministic by design",
+}
+
+var analyzerUnseededRand = &Analyzer{
+	Name: "unseededrand",
+	Doc:  "math/rand and crypto/rand imports outside internal/rng",
+	Run: func(p *Pass) {
+		if pathHasSuffix(p.Pkg.Path, "internal/rng") {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				why, banned := bannedRandImports[path]
+				if !banned {
+					continue
+				}
+				p.Reportf(imp.Pos(),
+					"import %q: %s; draw from internal/rng instead", path, why)
+			}
+		}
+	},
+}

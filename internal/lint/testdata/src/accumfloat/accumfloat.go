@@ -1,0 +1,35 @@
+// Fixture: accumfloat flags += accumulation of Joules inside loops,
+// which should route through the compensated summation in
+// internal/stats instead.
+package accumfloat
+
+import (
+	"beesim/internal/stats"
+
+	"beesim/internal/units"
+)
+
+func naive(quanta []units.Joules) units.Joules {
+	var total units.Joules
+	for _, q := range quanta {
+		total += q // want accumfloat
+	}
+	return total
+}
+
+func fine(quanta []units.Joules) units.Joules {
+	var once units.Joules
+	once += quanta[0]
+
+	var raw float64
+	for _, q := range quanta {
+		raw += float64(q)
+	}
+	_ = raw
+
+	var k stats.Kahan
+	for _, q := range quanta {
+		k.Add(float64(q))
+	}
+	return once + units.Joules(k.Sum())
+}

@@ -1,0 +1,27 @@
+// Fixture: gostmt flags go statements spawned inside DES event
+// handlers, where they would race the single-threaded virtual clock.
+package gostmt
+
+import (
+	"time"
+
+	"beesim/internal/des"
+)
+
+func work() {}
+
+func schedule(start time.Time) {
+	s := des.New(start)
+	_, _ = s.After(time.Minute, func() {
+		go work() // want gostmt
+	})
+	_, _ = s.At(start.Add(time.Hour), func() {
+		work()
+	})
+	p := des.NewProcess(s)
+	_ = p.Then(time.Second, func(pp *des.Process) {
+		go work() // want gostmt
+	})
+	go work()
+	s.Run(start.Add(2 * time.Hour))
+}

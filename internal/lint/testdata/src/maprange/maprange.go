@@ -1,0 +1,55 @@
+// Fixture: maprange flags map iteration whose order leaks into
+// appends, printed output, or writer sinks; collect-then-sort and
+// per-iteration locals are exempt.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func leaky(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want maprange
+		keys = append(keys, k)
+	}
+	for k, v := range m { // want maprange
+		fmt.Println(k, v)
+	}
+	var b strings.Builder
+	for k := range m { // want maprange
+		b.WriteString(k)
+	}
+	return keys
+}
+
+func clean(m map[string]int, xs []int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	n := 0
+	for range m {
+		n++
+	}
+	_ = n
+
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	_ = out
+
+	type row struct{ vals []int }
+	var rows []row
+	for k := range m {
+		r := row{}
+		r.vals = append(r.vals, len(k))
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return len(rows[i].vals) < len(rows[j].vals) })
+	return keys
+}

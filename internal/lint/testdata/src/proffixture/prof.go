@@ -1,0 +1,8 @@
+// Fixture: checked under the import path fixture/internal/prof, which
+// matches the walltime exemption for the profiling package — wall-clock
+// reads here are the package's whole purpose.
+package prof
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,5 @@
+// Fixture: checked under fixture/internal/rng — the one package
+// allowed to touch the standard library's randomness.
+package rng
+
+import _ "math/rand"

@@ -1,0 +1,18 @@
+// Fixture: line-level directives cover their own line and the next;
+// unscoped findings survive.
+package suppress
+
+import "time"
+
+func trailing() time.Time {
+	return time.Now() //beelint:allow walltime fixture: trailing directive
+}
+
+func above() time.Time {
+	//beelint:allow walltime fixture: directive on the line above
+	return time.Now()
+}
+
+func unsuppressed() time.Time {
+	return time.Now() // want walltime
+}

@@ -1,0 +1,16 @@
+// Fixture: malformed directives are findings themselves and never
+// suppress anything.
+package suppressbad
+
+import "time"
+
+func missingReason() time.Time {
+	return time.Now() //beelint:allow walltime
+}
+
+func unknownCheck() {
+	_ = 1 //beelint:allow nosuchcheck because reasons
+}
+
+//beelint:allow maprange
+func bareDirective() {}

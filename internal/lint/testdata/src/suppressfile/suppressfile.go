@@ -1,0 +1,10 @@
+// Fixture: a file-level directive before the package clause silences a
+// check for the whole file.
+//beelint:allow walltime fixture: the whole file talks to the real clock
+package suppressfile
+
+import "time"
+
+func A() time.Time { return time.Now() }
+
+func B() { time.Sleep(0) }

@@ -1,0 +1,28 @@
+// Fixture: unitcast flags float64 casts that mix distinct unit types
+// in one additive expression, and bare numeric literals passed where a
+// unit type is expected.
+package unitcast
+
+import "beesim/internal/units"
+
+func consume(e units.Joules) {}
+
+func consumeMany(es ...units.Joules) {}
+
+func mix(j units.Joules, w units.Watts) {
+	_ = float64(j) + float64(w) // want unitcast
+	_ = float64(j) - float64(w) // want unitcast
+
+	j2 := units.Joules(1)
+	_ = float64(j) + float64(j2)
+	_ = float64(j) / float64(w)
+	_ = float64(j) + 3.0
+}
+
+func literals(j units.Joules) {
+	consume(2.5) // want unitcast
+	consumeMany(j, 7) // want unitcast
+	consume(units.Joules(2.5))
+	consume(0)
+	consume(j)
+}

@@ -1,0 +1,7 @@
+// Fixture: banned randomness imports.
+package unseededrand
+
+import (
+	_ "crypto/rand" // want unseededrand
+	_ "math/rand" // want unseededrand
+)

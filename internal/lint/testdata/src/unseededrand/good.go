@@ -1,0 +1,5 @@
+package unseededrand
+
+import "beesim/internal/rng"
+
+func draw(seed uint64) float64 { return rng.New(seed).Float64() }

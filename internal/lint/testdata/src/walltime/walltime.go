@@ -1,0 +1,20 @@
+// Fixture: walltime flags wall-clock reads; pure time arithmetic and
+// time.Time values passed in are fine.
+package walltime
+
+import "time"
+
+func clocky(d time.Duration) time.Duration {
+	t0 := time.Now() // want walltime
+	time.Sleep(d)    // want walltime
+	el := time.Since(t0) // want walltime
+	return el + d
+}
+
+func pure(d time.Duration, at time.Time) time.Time {
+	base := time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)
+	if at.After(base) {
+		return at.Add(d)
+	}
+	return base.Add(2 * d)
+}

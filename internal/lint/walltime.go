@@ -1,0 +1,67 @@
+package lint
+
+// walltime: the DES engine owns time. Simulation code that reads the
+// wall clock (time.Now, time.Since, time.Sleep, ...) produces results
+// that differ run to run, which breaks the byte-determinism bar every
+// trace, metrics snapshot and ledger export is held to. Real-I/O code
+// (the live TCP service, profilers, CLIs stamping real reports) may
+// read the wall clock, but each such use must carry a
+// //beelint:allow walltime <reason> so the boundary stays auditable.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walltimeFuncs are the time-package references that read or depend on
+// the wall clock. Pure-value helpers (time.Date, time.Parse,
+// time.Duration arithmetic) are fine: they are deterministic.
+var walltimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// walltimeExemptPkgs never need annotations: their entire purpose is
+// wall-clock measurement of the real process.
+var walltimeExemptPkgs = []string{
+	"internal/prof", // pprof capture timing is inherently wall-clock
+}
+
+var analyzerWalltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "wall-clock reads (time.Now/Since/Sleep/...) outside annotated real-I/O code",
+	Run: func(p *Pass) {
+		for _, exempt := range walltimeExemptPkgs {
+			if pathHasSuffix(p.Pkg.Path, exempt) {
+				return
+			}
+		}
+		info := p.Pkg.Info
+		inspectFiles(p, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pkgFuncRef(info, sel, "time")
+			if !ok || !walltimeFuncs[name] {
+				return true
+			}
+			// Referencing the function at all (including passing time.Now
+			// as a value) couples the code to the wall clock.
+			if _, isFunc := info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; simulated code must take time from des.Sim.Now "+
+					"(annotate real I/O with //beelint:allow walltime <reason>)", name)
+			return true
+		})
+	},
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"beesim/internal/ledger"
+	"beesim/internal/stats"
 	"beesim/internal/units"
 )
 
@@ -44,13 +45,13 @@ func (t Task) String() string {
 
 // Sum returns the total energy and duration of a task sequence.
 func Sum(tasks []Task) (units.Joules, time.Duration) {
-	var e units.Joules
+	var e stats.Kahan
 	var d time.Duration
 	for _, t := range tasks {
-		e += t.Energy
+		e.Add(float64(t.Energy))
 		d += t.Duration
 	}
-	return e, d
+	return units.Joules(e.Sum()), d
 }
 
 // RecordTasks appends a task sequence to the energy ledger as consume

@@ -1,0 +1,32 @@
+package stats
+
+import "math"
+
+// Kahan accumulates float64 values with compensated summation
+// (Kahan–Babuška–Neumaier). A running += over n values loses O(n·eps)
+// relative accuracy and makes the total depend on summation order;
+// compensated summation keeps the error at O(eps) independent of n,
+// which is what lets week-long energy traces balance against the
+// ledger's conservation auditor at tight tolerances. The beelint
+// accumfloat check points loop accumulation of units.Joules here.
+//
+// The zero value is ready to use.
+type Kahan struct {
+	sum float64
+	c   float64 // running compensation for lost low-order bits
+}
+
+// Add folds x into the sum. Neumaier's variant of the classic Kahan
+// update also stays accurate when |x| exceeds |sum|.
+func (k *Kahan) Add(x float64) {
+	t := k.sum + x
+	if math.Abs(k.sum) >= math.Abs(x) {
+		k.c += (k.sum - t) + x
+	} else {
+		k.c += (x - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *Kahan) Sum() float64 { return k.sum + k.c }

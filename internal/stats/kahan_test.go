@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKahanZeroValue(t *testing.T) {
+	var k Kahan
+	if k.Sum() != 0 {
+		t.Fatalf("zero Kahan sums to %v", k.Sum())
+	}
+	k.Add(1.5)
+	if k.Sum() != 1.5 {
+		t.Fatalf("single add: got %v", k.Sum())
+	}
+}
+
+// The classic failure: summing 0.1 a million times drifts by ~1e-9
+// naively; the compensated sum stays within one ulp of the true value.
+func TestKahanBeatsNaiveSum(t *testing.T) {
+	const n = 1_000_000
+	var naive float64
+	var k Kahan
+	for i := 0; i < n; i++ {
+		naive += 0.1
+		k.Add(0.1)
+	}
+	want := 0.1 * n
+	if err := math.Abs(k.Sum() - want); err > 1e-10 {
+		t.Fatalf("compensated sum off by %g", err)
+	}
+	if math.Abs(naive-want) <= math.Abs(k.Sum()-want) {
+		t.Fatalf("expected naive drift (%g) to exceed compensated error (%g)",
+			naive-want, k.Sum()-want)
+	}
+}
+
+// Neumaier's variant must survive a large term swamping the running
+// sum: 1 + 1e100 + 1 - 1e100 == 2, where plain Kahan returns 0.
+func TestKahanLargeCancellation(t *testing.T) {
+	var k Kahan
+	for _, x := range []float64{1, 1e100, 1, -1e100} {
+		k.Add(x)
+	}
+	if got := k.Sum(); got != 2 {
+		t.Fatalf("cancellation sum = %v, want 2", got)
+	}
+}
+
+// Summation order must not change the compensated total beyond one ulp
+// — the property the energy ledger's determinism bar leans on.
+func TestKahanOrderInsensitive(t *testing.T) {
+	xs := make([]float64, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		xs = append(xs, 1e-3*float64(i), 1e6/float64(i+1))
+	}
+	var fwd, rev Kahan
+	for i := range xs {
+		fwd.Add(xs[i])
+		rev.Add(xs[len(xs)-1-i])
+	}
+	if diff := math.Abs(fwd.Sum() - rev.Sum()); diff > 1e-6 {
+		t.Fatalf("order changed compensated sum by %g", diff)
+	}
+}
