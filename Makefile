@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench verify bench-baseline
+.PHONY: all build test vet lint race bench verify bench-baseline smoke
 
 all: verify
 
@@ -26,16 +26,24 @@ test:
 
 # Every goroutine-spawning package plus its direct drivers runs under
 # the race detector on every verify: the protocol server (hivenet), the
-# DES engine, the mutex-guarded ledger/obs/store layers, and the
-# fan-out orchestration in swarm/experiments/deployment.
+# DES engine, the mutex-guarded ledger/obs/store layers, the worker
+# pool itself (parallel), and the fan-out call sites in
+# swarm/experiments/deployment/optimizer/dsp.
 race:
 	$(GO) test -race ./internal/hivenet/... ./internal/des/... \
 		./internal/ledger/... ./internal/deployment/... \
 		./internal/obs/... ./internal/store/... \
-		./internal/swarm/... ./internal/experiments/...
+		./internal/swarm/... ./internal/experiments/... \
+		./internal/parallel/... ./internal/optimizer/... \
+		./internal/dsp/...
+
+# End-to-end smoke of the -workers plumbing: a multi-worker scenario
+# run must complete and pass its own conservation audit.
+smoke:
+	$(GO) run ./cmd/apiarysim scenario -workers 4 -ledger $$(mktemp -t beesim-smoke-XXXXXX.jsonl)
 
 # The tier-1 gate: what CI and pre-commit runs.
-verify: build vet lint test race
+verify: build vet lint test race smoke
 
 # Benchmarks double as the reproduction report (paper figures as custom
 # metrics) and as the observability-overhead check (BenchmarkDESLoop*).
@@ -54,3 +62,6 @@ bench-baseline:
 		> BENCH_obs.json
 	$(GO) test -json -run xxx -bench 'BenchmarkLedger' -benchmem ./internal/ledger/ \
 		>> BENCH_obs.json
+	$(GO) test -json -run xxx -benchmem -count 3 \
+		-bench 'BenchmarkSweep(Serial|Parallel)$$|BenchmarkMelSpectrogram(Cold|Cached)$$|BenchmarkOptimizeParallel|BenchmarkCampaignParallel' \
+		-benchtime 10x . > BENCH_parallel.json

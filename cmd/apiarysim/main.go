@@ -15,9 +15,11 @@
 //	          [-period 5m] [-cycles 12] -ledger out.jsonl
 //
 // Every subcommand accepts -cpuprofile/-memprofile for runtime/pprof
-// profiles. The scenario subcommand replays the Table I/II duty cycle
-// into an energy ledger; record the edge and edge+cloud placements into
-// two files and compare them with hivereport -diff.
+// profiles and -workers N to bound the parallel evaluation fan-out
+// (default all CPUs; 1 forces the serial path; the output bytes are
+// identical either way). The scenario subcommand replays the Table I/II
+// duty cycle into an energy ledger; record the edge and edge+cloud
+// placements into two files and compare them with hivereport -diff.
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"beesim/internal/experiments"
 	"beesim/internal/ledger"
 	"beesim/internal/obs"
+	"beesim/internal/parallel"
 	"beesim/internal/power"
 	"beesim/internal/prof"
 	"beesim/internal/report"
@@ -74,14 +77,19 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: apiarysim <fig6|fig7|fig8|fig9|sweep|scenario> [flags]`)
 }
 
-// profiled registers -cpuprofile/-memprofile on fs, parses args, and
-// runs body between profiler start and stop, folding close errors from
-// Stop into the returned error.
+// profiled registers the flags every subcommand shares —
+// -cpuprofile/-memprofile and -workers — parses args, and runs body
+// between profiler start and stop, folding close errors from Stop into
+// the returned error. The -workers value becomes the process-wide
+// parallel default; output is byte-identical for every worker count.
 func profiled(fs *flag.FlagSet, args []string, body func() error) (err error) {
 	p := prof.Register(fs)
+	workers := fs.Int("workers", 0,
+		"worker goroutines for parallel evaluation (0 = all CPUs, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetDefault(*workers)
 	if err := p.Start(); err != nil {
 		return err
 	}

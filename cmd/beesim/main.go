@@ -21,6 +21,7 @@ import (
 	"beesim/internal/core"
 	"beesim/internal/experiments"
 	"beesim/internal/optimizer"
+	"beesim/internal/parallel"
 	"beesim/internal/report"
 	"beesim/internal/routine"
 	"beesim/internal/services"
@@ -125,12 +126,21 @@ func fig3() error {
 	return chart.Render(os.Stdout)
 }
 
+// workersFlag registers the shared -workers flag on fs. After parsing,
+// pass the value to parallel.SetDefault; every parallel stage then
+// resolves it. Outputs are byte-identical for any worker count.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "worker goroutines for parallel evaluation (0 = all CPUs, 1 = serial)")
+}
+
 func campaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	n := fs.Int("n", 319, "number of routines to replay")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetDefault(*workers)
 	st, err := experiments.RoutineStats(*n)
 	if err != nil {
 		return err
@@ -187,9 +197,11 @@ func seasons(args []string) error {
 	days := fs.Int("days", 3, "days simulated per month")
 	wake := fs.Duration("wake", 10*time.Minute, "wake-up period")
 	site := fs.String("site", "cachan", "deployment site: cachan or lyon")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetDefault(*workers)
 	loc := solar.Cachan
 	if *site == "lyon" {
 		loc = solar.Lyon
@@ -216,9 +228,11 @@ func apiary(args []string) error {
 	fs := flag.NewFlagSet("apiary", flag.ExitOnError)
 	days := fs.Int("days", 7, "days to simulate")
 	wake := fs.Duration("wake", 10*time.Minute, "wake-up period")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetDefault(*workers)
 	results, err := experiments.Apiary(*days, *wake)
 	if err != nil {
 		return err
@@ -279,9 +293,11 @@ func optimize(args []string) error {
 	staleness := fs.Duration("staleness", time.Hour, "maximum data age the beekeeper accepts")
 	bundle := fs.String("services", "queen", "comma-separated services: queen,pollen,count,swarm")
 	losses := fs.String("losses", "", "loss models to enable, e.g. \"ab\"")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetDefault(*workers)
 	if *hives <= 0 {
 		return fmt.Errorf("-hives must be positive")
 	}

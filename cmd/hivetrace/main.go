@@ -9,8 +9,13 @@
 //	hivetrace [-days 7] [-wake 10m] [-site cachan|lyon] [-csv out.csv]
 //	          [-trace out.json] [-trace-events] [-metrics]
 //	          [-metrics-csv out.csv] [-ledger out.jsonl] [-flight N]
-//	          [-empty] [-no-brownout]
+//	          [-empty] [-no-brownout] [-replicas N] [-workers N]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -replicas N the command runs an N-replica ensemble (each replica
+// on a seed derived from -seed) fanned across -workers goroutines and
+// prints per-replica summaries with ensemble statistics; exports are
+// single-run features and cannot be combined with it.
 //
 // Traces, metrics and the ledger are keyed by the virtual simulation
 // clock, so two runs with the same seed produce byte-identical exports
@@ -30,9 +35,11 @@ import (
 	"beesim/internal/deployment"
 	"beesim/internal/ledger"
 	"beesim/internal/obs"
+	"beesim/internal/parallel"
 	"beesim/internal/prof"
 	"beesim/internal/report"
 	"beesim/internal/solar"
+	"beesim/internal/stats"
 	"beesim/internal/timeseries"
 )
 
@@ -71,6 +78,8 @@ func run(args []string) (err error) {
 	empty := fs.Bool("empty", false, "simulate an empty hive (no colony yet)")
 	noBrownout := fs.Bool("no-brownout", false, "disable the night bus brownout")
 	seed := fs.Uint64("seed", 1, "random seed")
+	replicas := fs.Int("replicas", 0, "run an N-replica ensemble (seeds derived per replica) instead of a single trace")
+	workers := fs.Int("workers", 0, "worker goroutines for parallel evaluation (0 = all CPUs, 1 = serial)")
 	profiler := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -78,6 +87,7 @@ func run(args []string) (err error) {
 		}
 		return usageError(err.Error())
 	}
+	parallel.SetDefault(*workers)
 	if err := profiler.Start(); err != nil {
 		return err
 	}
@@ -100,6 +110,12 @@ func run(args []string) (err error) {
 	}
 	if *empty {
 		cfg.Colony.Population = 0
+	}
+	if *replicas > 0 {
+		if *metrics || *metricsCSV != "" || *tracePath != "" || *ledgerPath != "" || *csvPath != "" || *flight > 0 {
+			return usageError("-replicas is a summary ensemble; it cannot be combined with -csv, -trace, -metrics, -metrics-csv, -ledger or -flight")
+		}
+		return runEnsemble(cfg, *replicas)
 	}
 	if *metrics || *metricsCSV != "" {
 		cfg.Metrics = obs.NewRegistry()
@@ -222,6 +238,45 @@ func run(args []string) (err error) {
 			return err
 		}
 	}
+	return nil
+}
+
+// runEnsemble fans n deployment replicas (per-replica derived seeds)
+// across the worker pool and prints a per-replica summary table plus
+// ensemble mean and standard deviation — the quick answer to "how much
+// of this trace is seed luck".
+func runEnsemble(cfg deployment.Config, n int) error {
+	traces, err := deployment.RunReplicas(cfg, n, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hive ensemble: %s, %d day(s), wake every %v, %d replica(s), %d worker(s)\n\n",
+		cfg.Location.Name, cfg.Days, cfg.WakePeriod, n, parallel.Default())
+	t := report.NewTable("", "Replica", "Routines", "Missed", "Outages",
+		"Recorder J", "Harvest J")
+	var routines, missed, outages, recorder, harvest stats.Online
+	for i, tr := range traces {
+		t.MustAddRow(
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", tr.Wakeups),
+			fmt.Sprintf("%d", tr.MissedWakeups),
+			fmt.Sprintf("%d", tr.Outages),
+			fmt.Sprintf("%.0f", float64(tr.RecorderEnergy)),
+			fmt.Sprintf("%.0f", float64(tr.HarvestedEnergy)))
+		routines.Add(float64(tr.Wakeups))
+		missed.Add(float64(tr.MissedWakeups))
+		outages.Add(float64(tr.Outages))
+		recorder.Add(float64(tr.RecorderEnergy))
+		harvest.Add(float64(tr.HarvestedEnergy))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\n  routines:  %.1f +/- %.1f\n", routines.Mean(), routines.StdDev())
+	fmt.Printf("  missed:    %.1f +/- %.1f\n", missed.Mean(), missed.StdDev())
+	fmt.Printf("  outages:   %.1f +/- %.1f\n", outages.Mean(), outages.StdDev())
+	fmt.Printf("  recorder:  %.0f J +/- %.0f J\n", recorder.Mean(), recorder.StdDev())
+	fmt.Printf("  harvest:   %.0f J +/- %.0f J\n", harvest.Mean(), harvest.StdDev())
 	return nil
 }
 

@@ -20,7 +20,9 @@ import (
 	"beesim/internal/ledger"
 	"beesim/internal/netsim"
 	"beesim/internal/obs"
+	"beesim/internal/parallel"
 	"beesim/internal/power"
+	"beesim/internal/rng"
 	"beesim/internal/sensors"
 	"beesim/internal/solar"
 	"beesim/internal/timeseries"
@@ -328,6 +330,30 @@ func Run(cfg Config) (*Trace, error) {
 	sim.Run(cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour))
 	cfg.Ledger.SetStore(hiveID, "battery", initialStoredJ, float64(pack.Stored().Joules()))
 	return tr, nil
+}
+
+// RunReplicas executes n independent replicas of the deployment,
+// fanning them across workers (0 = process default, 1 = serial).
+// Replica i runs cfg with its seed replaced by the rng stream seed of
+// (cfg.Seed, i), so the ensemble is a pure function of the
+// configuration: byte-identical traces for every worker count, and
+// replica 0 differs from a plain Run(cfg) only in the derived seed.
+//
+// Instrumentation sinks are per-run mutable state, so an instrumented
+// config cannot fan out; attach Metrics/Tracer/Ledger to single runs
+// instead.
+func RunReplicas(cfg Config, n, workers int) ([]*Trace, error) {
+	if n <= 0 {
+		return nil, errors.New("deployment: replica ensemble needs n > 0")
+	}
+	if cfg.Metrics != nil || cfg.Tracer != nil || cfg.Ledger != nil {
+		return nil, errors.New("deployment: replica ensembles cannot share Metrics/Tracer/Ledger sinks")
+	}
+	return parallel.Map(workers, n, func(i int) (*Trace, error) {
+		rcfg := cfg
+		rcfg.Seed = rng.StreamSeed(cfg.Seed, uint64(i))
+		return Run(rcfg)
+	})
 }
 
 // recorderTaskName labels the recorder's draw by its duty-cycle phase.

@@ -9,9 +9,7 @@ package dsp
 
 import (
 	"errors"
-	"math"
 	"math/bits"
-	"math/cmplx"
 )
 
 // FFT computes the in-place radix-2 decimation-in-time fast Fourier
@@ -41,22 +39,21 @@ func fft(x []complex128, inverse bool) error {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	// Danielson-Lanczos butterflies.
-	for size := 2; size <= n; size <<= 1 {
+	if n == 1 {
+		return nil
+	}
+	// Danielson-Lanczos butterflies over the memoized per-stage twiddle
+	// tables (bit-identical to the former inline w *= wStep recurrence).
+	tw := twiddles(n, inverse)
+	for s, size := 0, 2; size <= n; s, size = s+1, size<<1 {
 		half := size >> 1
-		angle := -2 * math.Pi / float64(size)
-		if inverse {
-			angle = -angle
-		}
-		wStep := cmplx.Exp(complex(0, angle))
+		t := tw[s]
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
 			for k := 0; k < half; k++ {
 				a := x[start+k]
-				b := x[start+k+half] * w
+				b := x[start+k+half] * t[k]
 				x[start+k] = a + b
 				x[start+k+half] = a - b
-				w *= wStep
 			}
 		}
 	}
@@ -91,11 +88,8 @@ func NextPow2(n int) int {
 }
 
 // HannWindow returns the n-point periodic Hann window used for STFT
-// analysis.
+// analysis. The returned slice is the caller's to mutate; the shared
+// memoized copy stays internal.
 func HannWindow(n int) []float64 {
-	w := make([]float64, n)
-	for i := range w {
-		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n)))
-	}
-	return w
+	return append([]float64(nil), hannWindow(n)...)
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"beesim/internal/parallel"
 )
 
 // Matrix is a dense row-major 2D array (rows x cols).
@@ -83,23 +85,34 @@ func PowerSpectrogram(signal []float64, cfg STFTConfig) (*Matrix, error) {
 		return nil, fmt.Errorf("dsp: signal (%d samples) shorter than one window (%d)",
 			len(signal), cfg.FFTSize)
 	}
-	window := HannWindow(cfg.FFTSize)
+	window := hannWindow(cfg.FFTSize)
 	frames := 1 + (len(signal)-cfg.FFTSize)/cfg.Hop
 	bins := cfg.FFTSize/2 + 1
 	out := NewMatrix(bins, frames)
-	buf := make([]complex128, cfg.FFTSize)
-	for f := 0; f < frames; f++ {
-		off := f * cfg.Hop
-		for i := 0; i < cfg.FFTSize; i++ {
-			buf[i] = complex(signal[off+i]*window[i], 0)
+	// Frames are independent: each reads its own signal slice (plus the
+	// shared read-only window) and writes its own column of out, so
+	// chunks of frames fan out across the default worker pool. Per-frame
+	// math is unchanged and scratch buffers are fully overwritten per
+	// frame, so the output does not depend on the chunking.
+	err := parallel.MapChunks(0, frames, func(lo, hi int) error {
+		buf := make([]complex128, cfg.FFTSize)
+		for f := lo; f < hi; f++ {
+			off := f * cfg.Hop
+			for i := 0; i < cfg.FFTSize; i++ {
+				buf[i] = complex(signal[off+i]*window[i], 0)
+			}
+			if err := FFT(buf); err != nil {
+				return err
+			}
+			for b := 0; b < bins; b++ {
+				re, im := real(buf[b]), imag(buf[b])
+				out.Set(b, f, re*re+im*im)
+			}
 		}
-		if err := FFT(buf); err != nil {
-			return nil, err
-		}
-		for b := 0; b < bins; b++ {
-			re, im := real(buf[b]), imag(buf[b])
-			out.Set(b, f, re*re+im*im)
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -113,7 +126,17 @@ func MelToHz(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1) }
 // MelFilterbank builds nMels triangular filters over FFT bins for the
 // given sample rate, spanning 0 Hz to Nyquist. The returned matrix is
 // nMels x (fftSize/2+1); each row sums the power bins of one mel band.
+// The build is memoized by shape; the caller gets a private copy.
 func MelFilterbank(nMels, fftSize, sampleRate int) (*Matrix, error) {
+	fb, err := melFilterbank(nMels, fftSize, sampleRate)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{Rows: fb.Rows, Cols: fb.Cols, Data: append([]float64(nil), fb.Data...)}, nil
+}
+
+// buildMelFilterbank is the uncached construction behind MelFilterbank.
+func buildMelFilterbank(nMels, fftSize, sampleRate int) (*Matrix, error) {
 	if nMels <= 0 || fftSize <= 0 || sampleRate <= 0 {
 		return nil, errors.New("dsp: invalid filterbank shape")
 	}
@@ -157,21 +180,31 @@ func MelSpectrogram(signal []float64, cfg STFTConfig, nMels, sampleRate int) (*M
 	if err != nil {
 		return nil, err
 	}
-	fb, err := MelFilterbank(nMels, cfg.FFTSize, sampleRate)
+	fb, err := melFilterbank(nMels, cfg.FFTSize, sampleRate)
 	if err != nil {
 		return nil, err
 	}
 	out := NewMatrix(nMels, spec.Cols)
-	for m := 0; m < nMels; m++ {
-		for f := 0; f < spec.Cols; f++ {
-			var sum float64
-			for b := 0; b < spec.Rows; b++ {
-				if w := fb.At(m, b); w != 0 {
-					sum += w * spec.At(b, f)
+	// Mel bands are independent: band m reads the shared filterbank row
+	// and spectrogram, and writes only row m of out, so chunks of bands
+	// fan out across the default worker pool without changing a bit of
+	// the result.
+	err = parallel.MapChunks(0, nMels, func(lo, hi int) error {
+		for m := lo; m < hi; m++ {
+			for f := 0; f < spec.Cols; f++ {
+				var sum float64
+				for b := 0; b < spec.Rows; b++ {
+					if w := fb.At(m, b); w != 0 {
+						sum += w * spec.At(b, f)
+					}
 				}
+				out.Set(m, f, math.Log1p(sum))
 			}
-			out.Set(m, f, math.Log1p(sum))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

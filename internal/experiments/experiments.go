@@ -13,6 +13,7 @@ import (
 	"beesim/internal/ledger"
 	"beesim/internal/netsim"
 	"beesim/internal/obs"
+	"beesim/internal/parallel"
 	"beesim/internal/power"
 	"beesim/internal/report"
 	"beesim/internal/rng"
@@ -99,13 +100,16 @@ func RenderScenario(s ScenarioTable) *report.Table {
 // ---------------------------------------------------------------------
 
 // RoutineStats replays the Section-IV measurement campaign (319 routines
-// by default in the paper).
+// by default in the paper) with the process-default worker count.
 func RoutineStats(n int) (routine.CampaignStats, error) {
-	link, err := netsim.NewLink(netsim.DefaultConfig())
-	if err != nil {
-		return routine.CampaignStats{}, err
-	}
-	return routine.SimulateCampaign(power.DefaultPi3B(), link, n)
+	return RoutineStatsWorkers(n, 0)
+}
+
+// RoutineStatsWorkers replays the campaign fanning fixed-size routine
+// batches across the given worker count (0 = process default, 1 =
+// serial). The statistics are byte-identical for every worker count.
+func RoutineStatsWorkers(n, workers int) (routine.CampaignStats, error) {
+	return routine.SimulateCampaignParallel(power.DefaultPi3B(), netsim.DefaultConfig(), n, workers)
 }
 
 // Figure3Point is one wake-up-period sample of Figure 3.
@@ -168,6 +172,15 @@ type SweepConfig struct {
 	Policy   core.FillPolicy
 	Seed     uint64
 
+	// Workers bounds the fan-out of the point evaluations: 0 uses the
+	// process default (parallel.Default, normally NumCPU), 1 forces the
+	// serial legacy path. The sweep's output is byte-identical for
+	// every worker count — each point draws losses from its own rng
+	// stream keyed by the client count, and metrics, trace spans and
+	// ledger entries are committed in a serial pass over the
+	// index-ordered results.
+	Workers int
+
 	// Metrics, when non-nil, counts evaluated points and observes the
 	// per-client energies of both scenarios.
 	Metrics *obs.Registry
@@ -190,18 +203,72 @@ const (
 	MetricSweepCloudJ = "experiments_sweep_cloud_j_per_client"
 )
 
-// Sweep evaluates both scenarios across a client range.
-func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
+// validate rejects degenerate sweep ranges with a descriptive error: a
+// non-positive step would loop forever (or, with a naive fix-up,
+// silently sweep something the caller did not ask for), and an
+// inverted or non-positive range would yield a silent empty sweep.
+func (cfg SweepConfig) validate() error {
 	if cfg.Step <= 0 {
-		cfg.Step = 1
+		return fmt.Errorf("experiments: non-positive sweep step %d (a sweep needs Step >= 1)", cfg.Step)
 	}
-	if cfg.From <= 0 || cfg.To < cfg.From {
-		return nil, fmt.Errorf("experiments: bad sweep range [%d,%d]", cfg.From, cfg.To)
+	if cfg.From <= 0 {
+		return fmt.Errorf("experiments: sweep must start at a positive fleet size, got From=%d", cfg.From)
 	}
-	var r *rng.Source
-	if cfg.Losses.ClientLossFrac > 0 {
-		r = rng.New(cfg.Seed)
+	if cfg.To < cfg.From {
+		return fmt.Errorf("experiments: inverted sweep range [%d, %d] (From > To yields no points)", cfg.From, cfg.To)
 	}
+	return nil
+}
+
+// clientCounts expands the validated range into the evaluated fleet
+// sizes, in ascending order.
+func (cfg SweepConfig) clientCounts() []int {
+	counts := make([]int, 0, (cfg.To-cfg.From)/cfg.Step+1)
+	for n := cfg.From; n <= cfg.To; n += cfg.Step {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// sweepEval is one point's pure evaluation result, before commit.
+type sweepEval struct {
+	edge, cloud core.CycleCost
+}
+
+// Sweep evaluates both scenarios across a client range. Points are
+// independent, so they fan out across cfg.Workers workers; each point
+// draws its loss-C losses from a child rng stream keyed by the client
+// count (not by evaluation order), and all observable side effects —
+// metrics, trace spans, ledger entries — are committed serially over
+// the index-ordered results. The output is therefore byte-identical
+// for every worker count, including the workers=1 serial path.
+func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	counts := cfg.clientCounts()
+	workers := parallel.Resolve(cfg.Workers)
+	evals, err := parallel.Map(workers, len(counts), func(i int) (sweepEval, error) {
+		n := counts[i]
+		var r *rng.Source
+		if cfg.Losses.ClientLossFrac > 0 {
+			r = rng.Stream(cfg.Seed, uint64(n))
+		}
+		edge, err := core.SimulateEdgeOnly(n, cfg.Service, cfg.Losses, r)
+		if err != nil {
+			return sweepEval{}, err
+		}
+		ec, err := core.SimulateEdgeCloud(n, cfg.Server, cfg.Service, cfg.Losses, cfg.Policy, r)
+		if err != nil {
+			return sweepEval{}, err
+		}
+		return sweepEval{edge: edge, cloud: ec}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	parallel.Record(cfg.Metrics, workers)
 	mPoints := cfg.Metrics.Counter(MetricSweepPoints)
 	jBuckets := []float64{100, 150, 200, 250, 300, 350, 400, 500, 750, 1000}
 	hEdgeJ := cfg.Metrics.Histogram(MetricSweepEdgeJ, jBuckets)
@@ -209,16 +276,10 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 	// The sweep has no virtual clock of its own; points land on a
 	// synthetic 1 ms-per-point timeline so traces stay deterministic.
 	epoch := time.Unix(0, 0).UTC()
-	var out []SweepPoint
-	for n := cfg.From; n <= cfg.To; n += cfg.Step {
-		edge, err := core.SimulateEdgeOnly(n, cfg.Service, cfg.Losses, r)
-		if err != nil {
-			return nil, err
-		}
-		ec, err := core.SimulateEdgeCloud(n, cfg.Server, cfg.Service, cfg.Losses, cfg.Policy, r)
-		if err != nil {
-			return nil, err
-		}
+	out := make([]SweepPoint, 0, len(counts))
+	for i, ev := range evals {
+		n := counts[i]
+		edge, ec := ev.edge, ev.cloud
 		mPoints.Inc()
 		hEdgeJ.Observe(float64(edge.PerClient()))
 		hCloudJ.Observe(float64(ec.PerClient()))
@@ -254,34 +315,55 @@ func defaultService() (core.Service, error) {
 	return core.NewService(routine.CNN, Period)
 }
 
-// Figure6 sweeps 10-400 clients at slot capacity 10 with no losses,
-// reproducing the server-count and per-client energy curves.
-func Figure6() ([]SweepPoint, error) {
+// Figure6Config returns the sweep configuration of Figure 6: 10-400
+// clients at slot capacity 10 with no losses. Callers may attach
+// instrumentation or a worker count before passing it to Sweep.
+func Figure6Config() (SweepConfig, error) {
 	svc, err := defaultService()
 	if err != nil {
-		return nil, err
+		return SweepConfig{}, err
 	}
-	return Sweep(SweepConfig{
+	return SweepConfig{
 		Service: svc,
 		Server:  core.DefaultServer(10),
 		From:    10, To: 400, Step: 1,
 		Policy: core.FillSequential,
-	})
+	}, nil
+}
+
+// Figure6 sweeps 10-400 clients at slot capacity 10 with no losses,
+// reproducing the server-count and per-client energy curves.
+func Figure6() ([]SweepPoint, error) {
+	cfg, err := Figure6Config()
+	if err != nil {
+		return nil, err
+	}
+	return Sweep(cfg)
+}
+
+// Figure7Config returns the sweep configuration of Figure 7: 100-2000
+// clients at the given slot capacity with no losses.
+func Figure7Config(maxParallel int) (SweepConfig, error) {
+	svc, err := defaultService()
+	if err != nil {
+		return SweepConfig{}, err
+	}
+	return SweepConfig{
+		Service: svc,
+		Server:  core.DefaultServer(maxParallel),
+		From:    100, To: 2000, Step: 1,
+		Policy: core.FillSequential,
+	}, nil
 }
 
 // Figure7 sweeps 100-2000 clients at the given slot capacity (the paper
 // contrasts 10 and 35) with no losses.
 func Figure7(maxParallel int) ([]SweepPoint, error) {
-	svc, err := defaultService()
+	cfg, err := Figure7Config(maxParallel)
 	if err != nil {
 		return nil, err
 	}
-	return Sweep(SweepConfig{
-		Service: svc,
-		Server:  core.DefaultServer(maxParallel),
-		From:    100, To: 2000, Step: 1,
-		Policy: core.FillSequential,
-	})
+	return Sweep(cfg)
 }
 
 // Figure7Milestones extracts the paper's headline numbers from a cap-35
@@ -360,20 +442,30 @@ func (v LossVariant) Losses() core.Losses {
 	}
 }
 
-// Figure8 sweeps 10-400 clients at capacity 10 under one loss variant.
-func Figure8(v LossVariant) ([]SweepPoint, error) {
+// Figure8Config returns the sweep configuration of one Figure-8 panel:
+// 10-400 clients at capacity 10 under the given loss variant.
+func Figure8Config(v LossVariant) (SweepConfig, error) {
 	svc, err := defaultService()
 	if err != nil {
-		return nil, err
+		return SweepConfig{}, err
 	}
-	return Sweep(SweepConfig{
+	return SweepConfig{
 		Service: svc,
 		Server:  core.DefaultServer(10),
 		Losses:  v.Losses(),
 		From:    10, To: 400, Step: 1,
 		Policy: core.FillSequential,
 		Seed:   7,
-	})
+	}, nil
+}
+
+// Figure8 sweeps 10-400 clients at capacity 10 under one loss variant.
+func Figure8(v LossVariant) ([]SweepPoint, error) {
+	cfg, err := Figure8Config(v)
+	if err != nil {
+		return nil, err
+	}
+	return Sweep(cfg)
 }
 
 // Figure9 sweeps 100-2000 clients at capacity 35 with all losses,
@@ -382,18 +474,28 @@ func Figure8(v LossVariant) ([]SweepPoint, error) {
 // Figure 8 uses the harsher variant its numbers imply — the paper's two
 // loss figures are mutually inconsistent (EXPERIMENTS.md).
 func Figure9() ([]SweepPoint, error) {
-	svc, err := defaultService()
+	cfg, err := Figure9Config()
 	if err != nil {
 		return nil, err
 	}
-	return Sweep(SweepConfig{
+	return Sweep(cfg)
+}
+
+// Figure9Config returns the sweep configuration of Figure 9: 100-2000
+// clients at capacity 35 with the figure's own loss semantics.
+func Figure9Config() (SweepConfig, error) {
+	svc, err := defaultService()
+	if err != nil {
+		return SweepConfig{}, err
+	}
+	return SweepConfig{
 		Service: svc,
 		Server:  core.DefaultServer(35),
 		Losses:  core.Figure9Losses(),
 		From:    100, To: 2000, Step: 1,
 		Policy: core.FillSequential,
 		Seed:   7,
-	})
+	}, nil
 }
 
 // SweepSeries converts sweep points into chart/CSV series: per-client

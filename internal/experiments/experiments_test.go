@@ -249,11 +249,19 @@ func TestSweepValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Sweep(SweepConfig{Service: svc, Server: core.DefaultServer(10), From: 0, To: 5}); err == nil {
+	if _, err := Sweep(SweepConfig{Service: svc, Server: core.DefaultServer(10), From: 0, To: 5, Step: 1}); err == nil {
 		t.Error("zero From accepted")
 	}
-	if _, err := Sweep(SweepConfig{Service: svc, Server: core.DefaultServer(10), From: 10, To: 5}); err == nil {
-		t.Error("inverted range accepted")
+	if _, err := Sweep(SweepConfig{Service: svc, Server: core.DefaultServer(10), From: 10, To: 5, Step: 1}); err == nil || !strings.Contains(err.Error(), "inverted sweep range") {
+		t.Errorf("inverted range: err = %v, want descriptive inverted-range error", err)
+	}
+	// Regression: Step <= 0 used to be silently rewritten to 1, sweeping
+	// a range the caller never asked for. It must be a descriptive error.
+	for _, step := range []int{0, -3} {
+		_, err := Sweep(SweepConfig{Service: svc, Server: core.DefaultServer(10), From: 10, To: 20, Step: step})
+		if err == nil || !strings.Contains(err.Error(), "non-positive sweep step") {
+			t.Errorf("Step=%d: err = %v, want descriptive step error", step, err)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"beesim/internal/adaptive"
 	"beesim/internal/deployment"
+	"beesim/internal/parallel"
 	"beesim/internal/routine"
 	"beesim/internal/solar"
 	"beesim/internal/units"
@@ -35,8 +36,11 @@ func Seasonal(loc solar.Location, daysPerMonth int, wake time.Duration) ([]Seaso
 	if daysPerMonth <= 0 {
 		return nil, errors.New("experiments: non-positive days per month")
 	}
-	out := make([]SeasonPoint, 0, 12)
-	for m := time.January; m <= time.December; m++ {
+	// The twelve month-long deployments are independent (each already
+	// owns a fixed per-month seed), so they fan out across the default
+	// worker pool; the index-ordered merge keeps January first.
+	return parallel.Map(0, 12, func(i int) (SeasonPoint, error) {
+		m := time.January + time.Month(i)
 		cfg := deployment.DefaultConfig()
 		cfg.Location = loc
 		cfg.Start = time.Date(2023, m, 10, 0, 0, 0, 0, time.UTC)
@@ -45,18 +49,17 @@ func Seasonal(loc solar.Location, daysPerMonth int, wake time.Duration) ([]Seaso
 		cfg.Seed = uint64(m)
 		tr, err := deployment.Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: month %v: %w", m, err)
+			return SeasonPoint{}, fmt.Errorf("experiments: month %v: %w", m, err)
 		}
 		days := float64(daysPerMonth)
-		out = append(out, SeasonPoint{
+		return SeasonPoint{
 			Month:             m,
 			RoutinesPerDay:    float64(tr.Wakeups) / days,
 			MissedPerDay:      float64(tr.MissedWakeups) / days,
 			HarvestPerDay:     tr.HarvestedEnergy / units.Joules(days),
 			ConsumptionPerDay: (tr.RecorderEnergy + tr.MonitorEnergy) / units.Joules(days),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // ApiaryHive describes one deployed hive of the paper's fleet.
@@ -91,8 +94,10 @@ func Apiary(days int, wake time.Duration) ([]ApiaryResult, error) {
 		return nil, errors.New("experiments: non-positive day count")
 	}
 	hives := PaperApiary()
-	out := make([]ApiaryResult, 0, len(hives))
-	for _, h := range hives {
+	// One deployment per hive, each on its own fixed seed: embarrassingly
+	// parallel, merged back in fleet order.
+	return parallel.Map(0, len(hives), func(i int) (ApiaryResult, error) {
+		h := hives[i]
 		cfg := deployment.DefaultConfig()
 		cfg.Location = h.Location
 		cfg.Days = days
@@ -100,11 +105,10 @@ func Apiary(days int, wake time.Duration) ([]ApiaryResult, error) {
 		cfg.Seed = h.Seed
 		tr, err := deployment.Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: hive %s: %w", h.Name, err)
+			return ApiaryResult{}, fmt.Errorf("experiments: hive %s: %w", h.Name, err)
 		}
-		out = append(out, ApiaryResult{Hive: h, Trace: tr})
-	}
-	return out, nil
+		return ApiaryResult{Hive: h, Trace: tr}, nil
+	})
 }
 
 // PolicyComparison runs the adaptive-orchestration study: the fixed

@@ -3,13 +3,25 @@ package lint
 // gostmt: the DES engine is single-threaded by design — determinism is
 // guaranteed by a sequence-numbered event calendar, and a goroutine
 // launched from inside an event handler races the calendar itself.
-// Concurrency belongs outside the simulation (the real TCP service) or
-// is expressed as interleaved events (des.Process). This analyzer flags
-// `go` statements inside function literals handed to the engine:
-// Sim.At/After/Every callbacks and Process.Then/ThenNamed stages.
+// Since internal/parallel landed, it is the single sanctioned
+// concurrency entry point for simulated code, so the analyzer enforces
+// three rules:
+//
+//  1. go statements inside DES event handlers (Sim.At/After/Every
+//     callbacks, Process.Then/ThenNamed stages) are findings, as before.
+//  2. Calls into internal/parallel from inside a DES event handler are
+//     findings too: fan-out must happen outside the simulated event
+//     loop, or the pool's goroutines race the calendar just the same.
+//  3. Any other go statement in simulated code is a finding — express
+//     the concurrency through parallel.Map/MapChunks so the
+//     determinism contract (index-ordered merge, per-task rng streams)
+//     comes for free. internal/parallel itself and the real-I/O
+//     networking code are exempt.
 
 import (
 	"go/ast"
+	"go/token"
+	"go/types"
 )
 
 // desCallbackMethods maps des receiver type name -> methods whose
@@ -19,11 +31,34 @@ var desCallbackMethods = map[string]map[string]bool{
 	"Process": {"Then": true, "ThenNamed": true},
 }
 
+// gostmtExemptPkgs may spawn goroutines without annotation:
+// internal/parallel is the sanctioned fork/join layer, and the hivenet
+// server, CLI and example are real network I/O where goroutine-per-
+// connection is the idiom and no virtual clock exists to race.
+var gostmtExemptPkgs = []string{
+	"internal/parallel",
+	"internal/hivenet",
+	"cmd/hivenet",
+	"examples/networkedapiary",
+}
+
 var analyzerGoStmt = &Analyzer{
 	Name: "gostmt",
-	Doc:  "go statements inside DES event handlers (the engine is single-threaded)",
+	Doc:  "goroutines outside internal/parallel, and concurrency launched from DES event handlers",
 	Run: func(p *Pass) {
+		for _, exempt := range gostmtExemptPkgs {
+			if pathHasSuffix(p.Pkg.Path, exempt) {
+				return
+			}
+		}
 		info := p.Pkg.Info
+
+		// handlerRanges are the body extents of DES event-handler
+		// literals; go statements inside them get the handler-specific
+		// diagnosis, everything else the general one.
+		type handlerRange struct{ pos, end token.Pos }
+		var handlers []handlerRange
+
 		inspectFiles(p, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -46,16 +81,46 @@ var analyzerGoStmt = &Analyzer{
 				if !ok {
 					continue
 				}
+				handlers = append(handlers, handlerRange{pos: lit.Body.Pos(), end: lit.Body.End()})
 				ast.Inspect(lit.Body, func(b ast.Node) bool {
-					if g, ok := b.(*ast.GoStmt); ok {
-						p.Reportf(g.Pos(),
+					switch b := b.(type) {
+					case *ast.GoStmt:
+						p.Reportf(b.Pos(),
 							"go statement inside a des.%s.%s handler: the event calendar is "+
 								"single-threaded; schedule further events instead of spawning goroutines",
 							named.Obj().Name(), sel.Sel.Name)
+					case *ast.SelectorExpr:
+						if fn, ok := info.Uses[b.Sel].(*types.Func); ok &&
+							fromPkgSuffix(fn.Pkg(), "internal/parallel") {
+							p.Reportf(b.Pos(),
+								"parallel.%s inside a des.%s.%s handler: the event calendar is "+
+									"single-threaded; fan out before or after the simulated event loop, not from within it",
+								b.Sel.Name, named.Obj().Name(), sel.Sel.Name)
+						}
 					}
 					return true
 				})
 			}
+			return true
+		})
+
+		inHandler := func(pos token.Pos) bool {
+			for _, h := range handlers {
+				if pos >= h.pos && pos < h.end {
+					return true
+				}
+			}
+			return false
+		}
+		inspectFiles(p, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok || inHandler(g.Pos()) {
+				return true
+			}
+			p.Reportf(g.Pos(),
+				"go statement outside internal/parallel: simulated code fans out through "+
+					"parallel.Map/MapChunks so results stay deterministic "+
+					"(annotate real I/O with //beelint:allow gostmt <reason>)")
 			return true
 		})
 	},

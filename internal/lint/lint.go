@@ -18,7 +18,8 @@
 //	maprange     map iteration feeding slices, output or the ledger
 //	unitcast     float64 casts mixing distinct units types, and bare
 //	             constants passed where a units type is expected
-//	gostmt       goroutines launched inside DES event handlers
+//	gostmt       goroutines outside internal/parallel, and concurrency
+//	             (goroutines or parallel.* calls) inside DES handlers
 //	accumfloat   naive += Joules accumulation in loops
 //
 // Findings can be suppressed — with a mandatory reason — by

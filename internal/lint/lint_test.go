@@ -141,6 +141,7 @@ func TestFixtures(t *testing.T) {
 		{"maprange", "fixture/maprange"},
 		{"unitcast", "fixture/unitcast"},
 		{"gostmt", "fixture/gostmt"},
+		{"parallelpkg", "fixture/internal/parallel"},
 		{"accumfloat", "fixture/accumfloat"},
 		{"suppress", "fixture/suppress"},
 		{"suppressfile", "fixture/suppressfile"},

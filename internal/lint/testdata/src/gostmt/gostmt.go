@@ -1,11 +1,15 @@
 // Fixture: gostmt flags go statements spawned inside DES event
-// handlers, where they would race the single-threaded virtual clock.
+// handlers (where they would race the single-threaded virtual clock),
+// calls into internal/parallel from inside a handler (fan-out must
+// stay outside the event loop), and any other go statement in
+// simulated code (concurrency goes through internal/parallel).
 package gostmt
 
 import (
 	"time"
 
 	"beesim/internal/des"
+	"beesim/internal/parallel"
 )
 
 func work() {}
@@ -18,10 +22,18 @@ func schedule(start time.Time) {
 	_, _ = s.At(start.Add(time.Hour), func() {
 		work()
 	})
+	_, _ = s.Every(time.Minute, func() {
+		_, _ = parallel.Map(2, 4, func(i int) (int, error) { return i, nil }) // want gostmt
+	})
 	p := des.NewProcess(s)
 	_ = p.Then(time.Second, func(pp *des.Process) {
 		go work() // want gostmt
 	})
-	go work()
+	go work() // want gostmt
 	s.Run(start.Add(2 * time.Hour))
+}
+
+// fanOut calls the sanctioned layer outside any event handler: fine.
+func fanOut() ([]int, error) {
+	return parallel.Map(2, 4, func(i int) (int, error) { return i * i, nil })
 }

@@ -1,0 +1,22 @@
+// Fixture: checked under the synthetic import path
+// "fixture/internal/parallel", so the gostmt analyzer treats it as the
+// sanctioned concurrency package — its worker-pool goroutines need no
+// //beelint:allow annotations.
+package parallelpkg
+
+import "sync"
+
+// fanOut spawns a worker pool the way internal/parallel does; inside
+// the sanctioned package this is not a finding.
+func fanOut(workers int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			fn(g)
+		}()
+	}
+	wg.Wait()
+}

@@ -19,6 +19,7 @@ import (
 
 	"beesim/internal/core"
 	"beesim/internal/obs"
+	"beesim/internal/parallel"
 	"beesim/internal/routine"
 	"beesim/internal/services"
 	"beesim/internal/units"
@@ -48,6 +49,12 @@ type Options struct {
 	// counters, the per-hive energy histogram over feasible candidates,
 	// and the frontier-size gauge.
 	Metrics *obs.Registry
+	// Workers bounds the fan-out of the grid evaluation: 0 uses the
+	// process default (parallel.Default), 1 forces the serial legacy
+	// path. The result and every metric are byte-identical for any
+	// worker count — candidates are scored independently and all
+	// observable side effects commit in a serial pass in grid order.
+	Workers int
 }
 
 // Metric names emitted by an instrumented search.
@@ -116,6 +123,57 @@ func Optimize(req Requirements, opts Options) (Result, error) {
 		return Result{}, errors.New("optimizer: empty search space")
 	}
 
+	// Flatten the (period, capacity) grid to indexable points, dropping
+	// periods that violate the freshness bound regardless of placement.
+	type gridPoint struct {
+		period time.Duration
+		maxPar int
+	}
+	var grid []gridPoint
+	for _, period := range opts.Periods {
+		if period > req.MaxStaleness {
+			continue
+		}
+		for _, maxPar := range opts.Capacities {
+			grid = append(grid, gridPoint{period: period, maxPar: maxPar})
+		}
+	}
+
+	// Score every grid point in parallel. Scoring is pure (PlanBundle
+	// and the analytic scale model), so only the serial commit below
+	// touches metrics — keeping counter order and histogram float sums
+	// independent of the worker count.
+	type gridEval struct {
+		cand       Candidate
+		infeasible bool
+	}
+	workers := parallel.Resolve(opts.Workers)
+	evals, err := parallel.Map(workers, len(grid), func(i int) (gridEval, error) {
+		pt := grid[i]
+		bundle := services.Bundle{Kinds: req.Services, Period: pt.period}
+		plan, err := services.PlanBundle(bundle, req.Hives,
+			core.DefaultServer(pt.maxPar), req.Losses)
+		if err != nil {
+			return gridEval{infeasible: true}, nil
+		}
+		cand := Candidate{
+			Period:      pt.period,
+			MaxParallel: pt.maxPar,
+			Plan:        plan,
+			PerHive:     plan.TotalPerClient(),
+		}
+		cycles := float64(24*time.Hour) / float64(pt.period)
+		cand.PerDay = units.Joules(float64(cand.PerHive) * cycles * float64(req.Hives))
+		if cand.anyCloud() {
+			cand.Servers = serversFor(req, pt.period, pt.maxPar)
+		}
+		return gridEval{cand: cand}, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	parallel.Record(opts.Metrics, workers)
 	mCandidates := opts.Metrics.Counter(MetricCandidates)
 	mInfeasible := opts.Metrics.Counter(MetricInfeasible)
 	hPerHive := opts.Metrics.Histogram(MetricPerHiveJ,
@@ -123,35 +181,16 @@ func Optimize(req Requirements, opts Options) (Result, error) {
 
 	var res Result
 	var feasible []Candidate
-	for _, period := range opts.Periods {
-		if period > req.MaxStaleness {
-			continue // violates freshness regardless of placement
+	for _, ev := range evals {
+		res.Evaluated++
+		mCandidates.Inc()
+		if ev.infeasible {
+			res.Infeasible++
+			mInfeasible.Inc()
+			continue
 		}
-		for _, maxPar := range opts.Capacities {
-			res.Evaluated++
-			mCandidates.Inc()
-			bundle := services.Bundle{Kinds: req.Services, Period: period}
-			plan, err := services.PlanBundle(bundle, req.Hives,
-				core.DefaultServer(maxPar), req.Losses)
-			if err != nil {
-				res.Infeasible++
-				mInfeasible.Inc()
-				continue
-			}
-			cand := Candidate{
-				Period:      period,
-				MaxParallel: maxPar,
-				Plan:        plan,
-				PerHive:     plan.TotalPerClient(),
-			}
-			cycles := float64(24*time.Hour) / float64(period)
-			cand.PerDay = units.Joules(float64(cand.PerHive) * cycles * float64(req.Hives))
-			if cand.anyCloud() {
-				cand.Servers = serversFor(req, period, maxPar)
-			}
-			hPerHive.Observe(float64(cand.PerHive))
-			feasible = append(feasible, cand)
-		}
+		hPerHive.Observe(float64(ev.cand.PerHive))
+		feasible = append(feasible, ev.cand)
 	}
 	if len(feasible) == 0 {
 		return Result{}, fmt.Errorf("optimizer: no feasible configuration within %v staleness",

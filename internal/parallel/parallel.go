@@ -1,0 +1,207 @@
+// Package parallel is the simulator's single sanctioned concurrency
+// entry point: a deterministic fork/join layer that fans independent
+// tasks — sweep points, optimizer candidates, STFT frame chunks,
+// deployment replicas — across a bounded worker pool while keeping
+// every observable output byte-identical to a serial run.
+//
+// The determinism contract has three legs:
+//
+//  1. Results are merged in index order. Map returns out[i] = fn(i)
+//     regardless of which worker computed it or when it finished, so
+//     callers can commit side effects (metrics, trace spans, ledger
+//     entries) in a serial pass over the ordered results.
+//  2. Tasks never share a random stream. A caller that needs
+//     randomness derives one stream per task via rng.Stream, keyed by
+//     a stable task identity (a client count, a replica index), never
+//     by scheduling order.
+//  3. The worker count only changes wall-clock time. Workers <= 1 runs
+//     the tasks serially on the calling goroutine — the exact legacy
+//     path, no goroutines spawned — and any larger count must produce
+//     the same bytes, a property the determinism test suites assert
+//     for every wired hot path.
+//
+// beelint's gostmt analyzer enforces the "single sanctioned entry
+// point" part: go statements outside this package (and the real-I/O
+// server code) are findings, and calling into this package from inside
+// a DES event handler is a finding too — the event calendar is
+// single-threaded by design, so fan-out must happen outside the
+// simulated event loop.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"beesim/internal/obs"
+)
+
+// MetricWorkers is the gauge instrumented callers set to the resolved
+// worker count of their latest fan-out, so a metrics snapshot records
+// how a run was executed alongside what it computed.
+const MetricWorkers = "parallel_workers"
+
+// defaultWorkers holds the process-wide default worker count; zero
+// means "use runtime.NumCPU()".
+var defaultWorkers atomic.Int64
+
+// Default returns the process-wide default worker count: the last
+// value passed to SetDefault, or runtime.NumCPU when unset.
+func Default() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.NumCPU()
+}
+
+// SetDefault overrides the process-wide default worker count — the
+// CLIs' -workers flag lands here. n <= 0 restores the NumCPU default.
+func SetDefault(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Resolve normalizes a requested worker count: n > 0 is used as-is,
+// anything else falls back to Default. Config structs use zero for
+// "default", so Resolve is the one place that rule is written down.
+func Resolve(n int) int {
+	if n > 0 {
+		return n
+	}
+	return Default()
+}
+
+// Record sets the worker-count gauge on m. Nil-safe like every obs
+// instrument: a nil registry ignores the write.
+func Record(m *obs.Registry, workers int) {
+	m.Gauge(MetricWorkers).Set(float64(workers))
+}
+
+// taskPanic carries a panic value out of a worker goroutine so the
+// fork/join boundary can re-raise it on the calling goroutine.
+type taskPanic struct {
+	index int
+	value any
+}
+
+// Map evaluates fn(0), ..., fn(n-1) and returns the results in index
+// order. The worker count is normalized via Resolve and capped at n;
+// a resolved count of 1 (or n <= 1) runs everything serially on the
+// calling goroutine without spawning a single goroutine.
+//
+// fn must be safe to call concurrently with itself and must not depend
+// on evaluation order; under those conditions the returned slice is
+// identical for every worker count.
+//
+// Error semantics are deterministic: the serial path stops at the
+// first failing index; the parallel path evaluates every task and
+// returns the error of the lowest failing index — the same error the
+// serial path would have surfaced. On error the results are discarded
+// (nil slice). A panicking task is re-raised on the calling goroutine,
+// again picking the lowest panicking index.
+func Map[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	out := make([]R, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	panics := make([]*taskPanic, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runTask(i, fn, out, errs, panics)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range panics {
+		if panics[i] != nil {
+			panic(fmt.Sprintf("parallel: task %d panicked: %v", i, panics[i].value))
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runTask evaluates one task, catching a panic so the pool can finish
+// joining and re-raise it deterministically.
+func runTask[R any](i int, fn func(int) (R, error), out []R, errs []error, panics []*taskPanic) {
+	defer func() {
+		if p := recover(); p != nil {
+			panics[i] = &taskPanic{index: i, value: p}
+		}
+	}()
+	out[i], errs[i] = fn(i)
+}
+
+// MapChunks partitions [0, n) into at most `workers` contiguous,
+// near-equal chunks and evaluates fn(lo, hi) for each, fanning the
+// chunks across the pool. It is the shape DSP inner loops want: one
+// scratch buffer per chunk, disjoint output ranges per chunk.
+//
+// Chunk boundaries depend on the worker count, so — unlike Map's index
+// argument — they must never feed a computation: fn must compute each
+// element of [lo, hi) exactly as a serial loop over [0, n) would
+// (pure per-element work writing disjoint output). Every current
+// caller satisfies this because per-frame scratch state is fully
+// overwritten before use.
+func MapChunks(workers, n int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		return mapChunksSerial(n, fn)
+	}
+	chunk := (n + w - 1) / w
+	chunks := (n + chunk - 1) / chunk
+	_, err := Map(w, chunks, func(c int) (struct{}, error) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		return struct{}{}, fn(lo, hi)
+	})
+	return err
+}
+
+// mapChunksSerial is the workers<=1 path of MapChunks: one chunk, the
+// calling goroutine, no pool.
+func mapChunksSerial(n int, fn func(lo, hi int) error) error {
+	return fn(0, n)
+}

@@ -1,0 +1,181 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"beesim/internal/obs"
+	"beesim/internal/rng"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	got, err := Map(8, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || got != nil {
+		t.Fatalf("n=0: got %v, %v", got, err)
+	}
+	got, err = Map(8, 1, func(i int) (int, error) { return 42, nil })
+	if err != nil || !reflect.DeepEqual(got, []int{42}) {
+		t.Fatalf("n=1: got %v, %v", got, err)
+	}
+}
+
+// TestMapSerialSpawnsNoGoroutines pins the workers=1 contract: the
+// tasks run on the calling goroutine.
+func TestMapSerialSpawnsNoGoroutines(t *testing.T) {
+	var calls int // mutated without synchronization: the race detector
+	// would flag this if workers=1 ever fanned out.
+	_, err := Map(1, 50, func(i int) (int, error) {
+		calls++
+		return calls, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 50 {
+		t.Fatalf("calls = %d, want 50", calls)
+	}
+}
+
+// TestMapLowestIndexError: the parallel path must surface the error a
+// serial run would have stopped at, whatever the scheduling.
+func TestMapLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		got, err := Map(workers, 64, func(i int) (int, error) {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return 0, fmt.Errorf("task %d failed", i)
+			}
+			return i, nil
+		})
+		if got != nil {
+			t.Fatalf("workers=%d: results survived an error", workers)
+		}
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want task 3 failed", workers, err)
+		}
+	}
+}
+
+// TestMapDeterministicWithPerTaskStreams is the core invariant end to
+// end: per-task rng streams + index-ordered merge give byte-identical
+// results for every worker count.
+func TestMapDeterministicWithPerTaskStreams(t *testing.T) {
+	run := func(workers int) []float64 {
+		out, err := Map(workers, 200, func(i int) (float64, error) {
+			r := rng.Stream(7, uint64(i))
+			return r.Gaussian(10, 2) + r.Float64(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 3, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverged from serial", workers)
+		}
+	}
+}
+
+func TestMapPanicRepanicsLowestIndex(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatalf("workers=%d: no panic surfaced", workers)
+				}
+				if s := fmt.Sprint(p); !strings.Contains(s, "task 5 panicked") {
+					t.Fatalf("workers=%d: panic = %q, want task 5", workers, s)
+				}
+			}()
+			_, _ = Map(workers, 32, func(i int) (int, error) {
+				if i >= 5 {
+					panic(fmt.Sprintf("boom %d", i))
+				}
+				return i, nil
+			})
+		}()
+	}
+}
+
+func TestMapChunksCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		n := 103
+		hits := make([]atomic.Int64, n)
+		err := MapChunks(workers, n, func(lo, hi int) error {
+			if lo < 0 || hi > n || lo >= hi {
+				return fmt.Errorf("bad chunk [%d, %d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestMapChunksError(t *testing.T) {
+	err := MapChunks(4, 100, func(lo, hi int) error {
+		if lo > 0 {
+			return fmt.Errorf("chunk at %d", lo)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("chunk error swallowed")
+	}
+}
+
+func TestResolveAndDefault(t *testing.T) {
+	defer SetDefault(0)
+	if Resolve(5) != 5 {
+		t.Fatal("explicit count not honored")
+	}
+	SetDefault(3)
+	if Default() != 3 || Resolve(0) != 3 || Resolve(-1) != 3 {
+		t.Fatalf("default override not applied: Default=%d", Default())
+	}
+	SetDefault(0)
+	if Default() < 1 {
+		t.Fatalf("NumCPU default = %d", Default())
+	}
+}
+
+func TestRecordWorkersGauge(t *testing.T) {
+	Record(nil, 8) // nil-safe no-op
+	m := obs.NewRegistry()
+	Record(m, 8)
+	if got := m.Gauge(MetricWorkers).Value(); got != 8 {
+		t.Fatalf("gauge = %v, want 8", got)
+	}
+}

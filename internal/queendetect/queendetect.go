@@ -15,6 +15,7 @@ import (
 	"beesim/internal/ml"
 	"beesim/internal/ml/cnn"
 	"beesim/internal/ml/svm"
+	"beesim/internal/parallel"
 	"beesim/internal/power"
 	"beesim/internal/units"
 )
@@ -62,14 +63,16 @@ func BuildVectorDataset(corpus []audio.LabeledClip, sampleRate int) (*ml.Dataset
 	if len(corpus) == 0 {
 		return nil, errors.New("queendetect: empty corpus")
 	}
-	x := make([][]float64, len(corpus))
+	// Feature extraction is per-clip pure work, fanned across the
+	// default worker pool and merged in corpus order.
+	x, err := parallel.Map(0, len(corpus), func(i int) ([]float64, error) {
+		return VectorFeatures(corpus[i].Samples, sampleRate)
+	})
+	if err != nil {
+		return nil, err
+	}
 	y := make([]int, len(corpus))
 	for i, clip := range corpus {
-		v, err := VectorFeatures(clip.Samples, sampleRate)
-		if err != nil {
-			return nil, err
-		}
-		x[i] = v
 		y[i] = label(clip.QueenPresent)
 	}
 	return ml.NewDataset(x, y)
@@ -81,15 +84,19 @@ func BuildImageDataset(corpus []audio.LabeledClip, sampleRate, size int) ([]cnn.
 	if len(corpus) == 0 {
 		return nil, nil, errors.New("queendetect: empty corpus")
 	}
+	// As in BuildVectorDataset, the per-clip front end fans out and the
+	// results merge back in corpus order.
+	imgs, err := parallel.Map(0, len(corpus), func(i int) (*dsp.Matrix, error) {
+		return ImageFeatures(corpus[i].Samples, sampleRate, size)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	examples := make([]cnn.Example, len(corpus))
 	x := make([][]float64, len(corpus))
 	y := make([]int, len(corpus))
-	for i, clip := range corpus {
-		img, err := ImageFeatures(clip.Samples, sampleRate, size)
-		if err != nil {
-			return nil, nil, err
-		}
-		examples[i] = cnn.Example{Image: cnn.ImageFromMatrix(img), Label: label(clip.QueenPresent)}
+	for i, img := range imgs {
+		examples[i] = cnn.Example{Image: cnn.ImageFromMatrix(img), Label: label(corpus[i].QueenPresent)}
 		x[i] = img.Flatten()
 		y[i] = examples[i].Label
 	}

@@ -43,6 +43,27 @@ func New(seed uint64) *Source {
 // simulated client its own stream without correlating them.
 func (r *Source) Split() *Source { return New(r.Uint64()) }
 
+// StreamSeed derives the seed of an independent child stream from a
+// base seed and a stable stream identity (a sweep point's client
+// count, a replica index, a batch number). Unlike Split, the
+// derivation is a pure function of (seed, stream): no generator state
+// advances, so tasks fanned across a worker pool can each build their
+// own stream without observing scheduling order. The mixing is one
+// SplitMix64 finalization over the golden-ratio-weighted pair, the
+// same separation argument New uses for nearby seeds.
+func StreamSeed(seed, stream uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream returns a Source for the child stream of seed identified by
+// stream. Stream(s, a) and Stream(s, b) are well separated for a != b,
+// and the result depends only on the two arguments — the per-task RNG
+// constructor for deterministic parallel fan-out.
+func Stream(seed, stream uint64) *Source { return New(StreamSeed(seed, stream)) }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -158,3 +158,30 @@ func TestRange(t *testing.T) {
 		}
 	}
 }
+
+func TestStreamDeterministicAndSeparated(t *testing.T) {
+	// Pure function of (seed, stream): same inputs, same stream.
+	a1, a2 := Stream(7, 42), Stream(7, 42)
+	for i := 0; i < 100; i++ {
+		if a1.Uint64() != a2.Uint64() {
+			t.Fatal("Stream is not a pure function of its arguments")
+		}
+	}
+	// Distinct stream ids (and distinct seeds) must not collide or
+	// produce shifted copies.
+	streams := []*Source{Stream(7, 0), Stream(7, 1), Stream(7, 2), Stream(8, 0)}
+	draws := make(map[uint64]int)
+	for si, s := range streams {
+		for i := 0; i < 1000; i++ {
+			v := s.Uint64()
+			if prev, ok := draws[v]; ok {
+				t.Fatalf("streams %d and %d repeated draw %x", prev, si, v)
+			}
+			draws[v] = si
+		}
+	}
+	// Seeds derived for adjacent stream ids must differ in many bits.
+	if StreamSeed(1, 0) == StreamSeed(1, 1) {
+		t.Fatal("adjacent stream seeds collide")
+	}
+}

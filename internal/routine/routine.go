@@ -19,7 +19,9 @@ import (
 	"beesim/internal/ledger"
 	"beesim/internal/netsim"
 	"beesim/internal/obs"
+	"beesim/internal/parallel"
 	"beesim/internal/power"
+	"beesim/internal/rng"
 	"beesim/internal/stats"
 	"beesim/internal/units"
 )
@@ -267,6 +269,83 @@ func SimulateCampaign(pi power.Pi3B, link *netsim.Link, n int) (CampaignStats, e
 		durs.Add(d.Seconds())
 		powers.Add(e / d.Seconds())
 		energies.Add(e)
+	}
+	return CampaignStats{
+		Routines:     n,
+		MeanDuration: time.Duration(durs.Mean() * float64(time.Second)),
+		SDDuration:   time.Duration(durs.StdDev() * float64(time.Second)),
+		MeanPower:    units.Watts(powers.Mean()),
+		SDPower:      units.Watts(powers.StdDev()),
+		MeanEnergy:   units.Joules(energies.Mean()),
+	}, nil
+}
+
+// campaignBatch is the fixed number of routines per parallel campaign
+// batch. It is part of the determinism contract, not a tuning knob:
+// each batch owns an rng stream keyed by its batch index, so changing
+// the batch size changes which draws land in which routine. Worker
+// counts only decide who evaluates a batch, never where it starts.
+const campaignBatch = 64
+
+// campaignSample is one routine's duration and energy.
+type campaignSample struct {
+	seconds float64
+	joules  float64
+}
+
+// SimulateCampaignParallel replays the Section-IV campaign like
+// SimulateCampaign but fans fixed-size batches of routines across
+// workers. Every batch builds its own link whose seed is the
+// rng.StreamSeed of (cfg.Seed, batch index), so the sampled transfers
+// are a pure function of the configuration — byte-identical for every
+// worker count, including the workers=1 serial path. The Welford
+// accumulation happens in a serial pass over the batch-ordered samples
+// because its float sums are order-sensitive.
+//
+// Note the sampling scheme differs from SimulateCampaign, which draws
+// all n routines from one sequential stream; the two agree in
+// distribution but not draw-for-draw.
+func SimulateCampaignParallel(pi power.Pi3B, cfg netsim.Config, n, workers int) (CampaignStats, error) {
+	if n <= 0 {
+		return CampaignStats{}, errors.New("routine: campaign needs n > 0")
+	}
+	routine := pi.Routine()
+	send := pi.SendAudio()
+	fixedDur := routine.Duration - send.Duration
+	fixedEnergy := routine.Energy - send.Energy
+
+	batches := (n + campaignBatch - 1) / campaignBatch
+	sampled, err := parallel.Map(workers, batches, func(b int) ([]campaignSample, error) {
+		linkCfg := cfg
+		linkCfg.Seed = rng.StreamSeed(cfg.Seed, uint64(b))
+		link, err := netsim.NewLink(linkCfg)
+		if err != nil {
+			return nil, err
+		}
+		size := campaignBatch
+		if rest := n - b*campaignBatch; rest < size {
+			size = rest
+		}
+		out := make([]campaignSample, size)
+		for i := range out {
+			tr := link.Send(netsim.RoutinePayload())
+			d := fixedDur + tr.Duration
+			e := float64(fixedEnergy) + float64(send.Power().Energy(tr.Duration))
+			out[i] = campaignSample{seconds: d.Seconds(), joules: e}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return CampaignStats{}, err
+	}
+
+	var durs, powers, energies stats.Online
+	for _, batch := range sampled {
+		for _, s := range batch {
+			durs.Add(s.seconds)
+			powers.Add(s.joules / s.seconds)
+			energies.Add(s.joules)
+		}
 	}
 	return CampaignStats{
 		Routines:     n,

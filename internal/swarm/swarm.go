@@ -18,6 +18,7 @@ import (
 	"beesim/internal/dsp"
 	"beesim/internal/ledger"
 	"beesim/internal/obs"
+	"beesim/internal/parallel"
 )
 
 // Piping parameters: queen toots center near 400 Hz.
@@ -88,6 +89,16 @@ func PipingScore(clip []float64, sampleRate int) (float64, error) {
 	raw := mean * (0.5 + cv)
 	score := raw / (raw + 0.05)
 	return score, nil
+}
+
+// ScoreClips computes the piping score of every clip, fanning the
+// per-clip analyses across workers (0 = process default, 1 = serial).
+// Scores come back in clip order and are byte-identical for every
+// worker count — PipingScore is pure.
+func ScoreClips(clips [][]float64, sampleRate, workers int) ([]float64, error) {
+	return parallel.Map(workers, len(clips), func(i int) (float64, error) {
+		return PipingScore(clips[i], sampleRate)
+	})
 }
 
 // Observation is one cycle's inputs to the predictor.
