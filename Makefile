@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench verify bench-baseline smoke
+.PHONY: all build test vet lint race bench verify bench-baseline smoke chaos
 
 all: verify
 
@@ -35,15 +35,24 @@ race:
 		./internal/obs/... ./internal/store/... \
 		./internal/swarm/... ./internal/experiments/... \
 		./internal/parallel/... ./internal/optimizer/... \
-		./internal/dsp/...
+		./internal/dsp/... ./internal/faults/...
 
 # End-to-end smoke of the -workers plumbing: a multi-worker scenario
 # run must complete and pass its own conservation audit.
 smoke:
 	$(GO) run ./cmd/apiarysim scenario -workers 4 -ledger $$(mktemp -t beesim-smoke-XXXXXX.jsonl)
 
+# Chaos gate: the fault-injection soak (loss rates 0-100%, no panics,
+# no stuck DES, monotone delivered-count) plus a fuzz smoke over the
+# plan parser and retry policy. go test runs one fuzz target per
+# invocation, so each gets its own 10 s budget.
+chaos:
+	$(GO) test -run 'Chaos' ./internal/faults/ .
+	$(GO) test -run xxx -fuzz 'FuzzFaultPlanJSON' -fuzztime 10s ./internal/faults/
+	$(GO) test -run xxx -fuzz 'FuzzRetryPolicy' -fuzztime 10s ./internal/faults/
+
 # The tier-1 gate: what CI and pre-commit runs.
-verify: build vet lint test race smoke
+verify: build vet lint test race chaos smoke
 
 # Benchmarks double as the reproduction report (paper figures as custom
 # metrics) and as the observability-overhead check (BenchmarkDESLoop*).

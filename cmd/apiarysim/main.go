@@ -11,8 +11,19 @@
 //	apiarysim fig9 [-csv out.csv]
 //	apiarysim sweep -from N -to M [-cap K] [-losses abc] [-chart]
 //	          [-metrics] [-trace out.json] [-ledger out.jsonl]
+//	          [-faults plan.json]
+//	apiarysim avail [-from N -to M] [-cap K] [-amin 0.5] [-amax 1]
+//	          [-points 11] [-faults plan.json] [-csv out.csv]
+//	          [-metrics] [-ledger out.jsonl]
 //	apiarysim scenario [-model cnn] [-placement edge|edgecloud]
 //	          [-period 5m] [-cycles 12] -ledger out.jsonl
+//
+// With -faults the sweep prices the edge+cloud scenario under the
+// plan's degraded uplink (steady drop probability and retry policy):
+// expected extra attempts re-pay the upload energy and undelivered
+// cycles pay the local inference fallback. The avail subcommand sweeps
+// link availability itself, showing how the edge-vs-cloud crossover
+// shifts as the link degrades (see docs/FAULTS.md).
 //
 // Every subcommand accepts -cpuprofile/-memprofile for runtime/pprof
 // profiles and -workers N to bound the parallel evaluation fan-out
@@ -31,6 +42,7 @@ import (
 
 	"beesim/internal/core"
 	"beesim/internal/experiments"
+	"beesim/internal/faults"
 	"beesim/internal/ledger"
 	"beesim/internal/obs"
 	"beesim/internal/parallel"
@@ -58,6 +70,8 @@ func main() {
 		err = figure(os.Args[2:], "Figure 9 (100-2000 clients, cap 35, losses A+B+C)", experiments.Figure9)
 	case "sweep":
 		err = sweep(os.Args[2:])
+	case "avail":
+		err = avail(os.Args[2:])
 	case "scenario":
 		err = scenario(os.Args[2:])
 	case "-h", "--help", "help":
@@ -74,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: apiarysim <fig6|fig7|fig8|fig9|sweep|scenario> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: apiarysim <fig6|fig7|fig8|fig9|sweep|avail|scenario> [flags]`)
 }
 
 // profiled registers the flags every subcommand shares —
@@ -213,6 +227,7 @@ func sweep(args []string) error {
 	metrics := fs.Bool("metrics", false, "print the sweep's metrics snapshot")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON timeline of the sweep to this file")
 	ledgerPath := fs.String("ledger", "", "write the sweep's energy ledger to this JSONL file")
+	faultsPath := fs.String("faults", "", "fault plan JSON degrading the edge+cloud uplink")
 	return profiled(fs, args, func() error {
 		m := routine.CNN
 		if *model == "svm" {
@@ -221,6 +236,19 @@ func sweep(args []string) error {
 		svc, err := core.NewService(m, 5*time.Minute)
 		if err != nil {
 			return err
+		}
+		if *faultsPath != "" {
+			plan, err := faults.LoadPlan(*faultsPath)
+			if err != nil {
+				return err
+			}
+			pi := power.DefaultPi3B()
+			a := 1 - plan.Link.DropProb
+			retry := plan.RetryOrDefault()
+			svc = experiments.DegradeService(svc, a, retry,
+				pi.SendAudio().Energy, pi.InferCNN().Energy)
+			fmt.Printf("fault plan %s: availability %.2f, delivery %.3f within %d attempts\n",
+				*faultsPath, a, retry.DeliveryProb(a), retry.MaxAttempts)
 		}
 		policy := core.FillSequential
 		if *balanced {
@@ -291,6 +319,124 @@ func sweep(args []string) error {
 		if *metrics {
 			fmt.Printf("\nmetrics:\n")
 			if err := sweepCfg.Metrics.Snapshot().WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// avail runs the availability sweep: the Figure 6/7 client-range sweep
+// re-evaluated at each point of a link-availability grid, with the
+// edge+cloud cycle priced up by the expected retry/fallback tax. The
+// table shows the crossover fleet size drifting upward (and eventually
+// vanishing) as the link degrades.
+func avail(args []string) error {
+	fs := flag.NewFlagSet("avail", flag.ExitOnError)
+	from := fs.Int("from", 100, "smallest fleet size")
+	to := fs.Int("to", 2000, "largest fleet size")
+	step := fs.Int("step", 10, "fleet size step")
+	maxPar := fs.Int("cap", 35, "clients allowed in parallel per slot")
+	amin := fs.Float64("amin", 0.5, "lowest link availability")
+	amax := fs.Float64("amax", 1.0, "highest link availability")
+	points := fs.Int("points", 11, "availability grid points (ends inclusive)")
+	faultsPath := fs.String("faults", "", "fault plan JSON supplying the seed and retry policy")
+	csvPath := fs.String("csv", "", "write the availability series to this CSV file")
+	metrics := fs.Bool("metrics", false, "print the sweep's metrics snapshot")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+	ledgerPath := fs.String("ledger", "", "write the per-point energy ledger to this JSONL file")
+	return profiled(fs, args, func() error {
+		cfg, err := experiments.DefaultAvailabilityConfig()
+		if err != nil {
+			return err
+		}
+		cfg.Server = core.DefaultServer(*maxPar)
+		cfg.From, cfg.To, cfg.Step = *from, *to, *step
+		cfg.AvailFrom, cfg.AvailTo, cfg.AvailSteps = *amin, *amax, *points
+		if *faultsPath != "" {
+			plan, err := faults.LoadPlan(*faultsPath)
+			if err != nil {
+				return err
+			}
+			cfg.Retry = plan.RetryOrDefault()
+			cfg.Seed = plan.Seed
+		}
+		if *metrics {
+			cfg.Metrics = obs.NewRegistry()
+		}
+		if *tracePath != "" {
+			cfg.Tracer = obs.NewTracer(time.Unix(0, 0).UTC())
+		}
+		if *ledgerPath != "" {
+			cfg.Ledger = ledger.New()
+		}
+		pts, err := experiments.AvailabilitySweep(cfg)
+		if err != nil {
+			return err
+		}
+
+		fmt.Printf("availability sweep: %d-%d clients, cap %d, %d attempts max\n\n",
+			cfg.From, cfg.To, *maxPar, cfg.Retry.MaxAttempts)
+		t := report.NewTable("", "Availability", "Delivery", "E[attempts]",
+			"First crossover", "Edge J/client", "Edge+cloud J/client")
+		for _, p := range pts {
+			cross := "never"
+			if p.FirstCrossover > 0 {
+				cross = fmt.Sprintf("%d clients", p.FirstCrossover)
+			}
+			t.MustAddRow(
+				fmt.Sprintf("%.2f", p.Availability),
+				fmt.Sprintf("%.3f", p.DeliveryProb),
+				fmt.Sprintf("%.2f", p.ExpectedAttempts),
+				cross,
+				fmt.Sprintf("%.1f", float64(p.EdgeJClient)),
+				fmt.Sprintf("%.1f", float64(p.CloudJClient)))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+
+		if *csvPath != "" {
+			edge, cloud, crossover, delivered, err := experiments.AvailabilitySeries(pts)
+			if err != nil {
+				return err
+			}
+			err = writeFile(*csvPath, func(f *os.File) error {
+				return report.WriteSeriesCSV(f, "availability", edge, cloud, crossover, delivered)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\nseries written to %s\n", *csvPath)
+		}
+		if *tracePath != "" {
+			err := writeFile(*tracePath, func(f *os.File) error {
+				return cfg.Tracer.WriteJSON(f)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\n%d trace events written to %s (open at ui.perfetto.dev)\n",
+				cfg.Tracer.Len(), *tracePath)
+		}
+		if *ledgerPath != "" {
+			err := writeFile(*ledgerPath, func(f *os.File) error {
+				return cfg.Ledger.WriteJSONL(f)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\n%d ledger entries written to %s (inspect with hivereport)\n",
+				cfg.Ledger.Len(), *ledgerPath)
+			rep := ledger.Audit(cfg.Ledger, ledger.DefaultTolerance())
+			fmt.Printf("  %s\n", rep.String())
+			if !rep.OK() {
+				return fmt.Errorf("conservation audit failed with %d violation(s)", len(rep.Violations))
+			}
+		}
+		if *metrics {
+			fmt.Printf("\nmetrics:\n")
+			if err := cfg.Metrics.Snapshot().WriteText(os.Stdout); err != nil {
 				return err
 			}
 		}

@@ -9,8 +9,17 @@
 //	hivetrace [-days 7] [-wake 10m] [-site cachan|lyon] [-csv out.csv]
 //	          [-trace out.json] [-trace-events] [-metrics]
 //	          [-metrics-csv out.csv] [-ledger out.jsonl] [-flight N]
-//	          [-empty] [-no-brownout] [-replicas N] [-workers N]
+//	          [-empty] [-no-brownout] [-faults plan.json]
+//	          [-replicas N] [-workers N]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -faults the run injects the deterministic fault plan — link
+// outages and packet loss on the uplink (with retry/backoff and a
+// buffer-and-drain upload queue), node crash windows, battery
+// brownouts, sensor dropouts — and the summary grows a fault section
+// (see docs/FAULTS.md). The plan's schedule is derived from its own
+// seed and the virtual clock, so faulted runs are as reproducible as
+// clean ones.
 //
 // With -replicas N the command runs an N-replica ensemble (each replica
 // on a seed derived from -seed) fanned across -workers goroutines and
@@ -33,6 +42,7 @@ import (
 	"time"
 
 	"beesim/internal/deployment"
+	"beesim/internal/faults"
 	"beesim/internal/ledger"
 	"beesim/internal/obs"
 	"beesim/internal/parallel"
@@ -77,6 +87,7 @@ func run(args []string) (err error) {
 	flight := fs.Int("flight", 0, "flight-recorder mode: retain only the last N ledger entries, dump to stderr on battery cutoff")
 	empty := fs.Bool("empty", false, "simulate an empty hive (no colony yet)")
 	noBrownout := fs.Bool("no-brownout", false, "disable the night bus brownout")
+	faultsPath := fs.String("faults", "", "inject the deterministic fault plan from this JSON file")
 	seed := fs.Uint64("seed", 1, "random seed")
 	replicas := fs.Int("replicas", 0, "run an N-replica ensemble (seeds derived per replica) instead of a single trace")
 	workers := fs.Int("workers", 0, "worker goroutines for parallel evaluation (0 = all CPUs, 1 = serial)")
@@ -110,6 +121,13 @@ func run(args []string) (err error) {
 	}
 	if *empty {
 		cfg.Colony.Population = 0
+	}
+	if *faultsPath != "" {
+		plan, err := faults.LoadPlan(*faultsPath)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = &plan
 	}
 	if *replicas > 0 {
 		if *metrics || *metricsCSV != "" || *tracePath != "" || *ledgerPath != "" || *csvPath != "" || *flight > 0 {
@@ -148,6 +166,17 @@ func run(args []string) (err error) {
 	fmt.Printf("  recorder energy:      %v\n", tr.RecorderEnergy)
 	fmt.Printf("  monitor energy:       %v\n", tr.MonitorEnergy)
 	fmt.Printf("  harvested energy:     %v\n", tr.HarvestedEnergy)
+
+	if cfg.Faults != nil {
+		fmt.Printf("\n  faults (plan seed %d):\n", cfg.Faults.Seed)
+		fmt.Printf("    upload retries:     %6d (%v radio energy)\n", tr.UploadRetries, tr.RetryEnergy)
+		fmt.Printf("    failed uploads:     %6d\n", tr.FailedUploads)
+		fmt.Printf("    flushed from queue: %6d\n", tr.FlushedUploads)
+		fmt.Printf("    still buffered:     %6d\n", tr.BufferedUploads)
+		fmt.Printf("    dropped uploads:    %6d\n", tr.DroppedUploads)
+		fmt.Printf("    sensor dropouts:    %6d\n", tr.SensorDropouts)
+		fmt.Printf("    battery brownouts:  %6d\n", tr.Brownouts)
+	}
 
 	if gaps := tr.RecorderPower.Gaps(2 * time.Hour); len(gaps) > 0 {
 		fmt.Printf("\n  night gaps (recorder down > 2 h):\n")

@@ -1,0 +1,139 @@
+package beesim
+
+// Fault-plan determinism: arming the fault injector must not weaken the
+// worker-count contract. The availability sweep's exports (series CSV,
+// ledger JSONL, metrics CSV) and faulted deployment replicas are
+// byte-identical at workers 1, 2 and 8, and an empty plan reproduces
+// the fault-free exports exactly.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"beesim/internal/deployment"
+	"beesim/internal/experiments"
+	"beesim/internal/faults"
+	"beesim/internal/ledger"
+	"beesim/internal/obs"
+	"beesim/internal/report"
+)
+
+// chaosPlan is a plan exercising every fault class at once.
+func chaosPlan() faults.Plan {
+	return faults.Plan{
+		Seed: 21,
+		Link: faults.LinkFaults{
+			DropProb: 0.2,
+			Outages:  []faults.Window{{StartS: 4 * 3600, DurationS: 3600}},
+			Bursts:   []faults.Burst{{Window: faults.Window{StartS: 12 * 3600, DurationS: 1800}, DropProb: 0.9}},
+		},
+		Node:    faults.NodeFaults{Crashes: []faults.Window{{StartS: 18 * 3600, DurationS: 900}}, RebootS: 300},
+		Battery: faults.BatteryFaults{Brownouts: []faults.Window{{StartS: 14 * 3600, DurationS: 1200}}},
+		Sensors: faults.SensorFaults{DropProb: 0.1},
+	}
+}
+
+// renderAvailabilitySweep flattens an availability sweep's observable
+// output — series CSV, ledger JSONL, metrics CSV — into one byte slice.
+func renderAvailabilitySweep(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg, err := experiments.DefaultAvailabilityConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Step = 50 // coarse client grid keeps the inner sweeps fast
+	cfg.AvailSteps = 4
+	cfg.Workers = workers
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Ledger = ledger.New()
+	pts, err := experiments.AvailabilitySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, cloud, crossover, delivered, err := experiments.AvailabilitySeries(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteSeriesCSV(&buf, "availability", edge, cloud, crossover, delivered); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Ledger.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteMetricsCSV(&buf, maskWorkers(cfg.Metrics.Snapshot())); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAvailabilitySweepDeterministicAcrossWorkers extends the sweep
+// byte-identity contract to the fault layer's flagship experiment.
+func TestAvailabilitySweepDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("availability sweep runs many inner sweeps; run without -short")
+	}
+	want := renderAvailabilitySweep(t, determinismWorkers[0])
+	if len(want) == 0 {
+		t.Fatal("empty render")
+	}
+	for _, w := range determinismWorkers[1:] {
+		if got := renderAvailabilitySweep(t, w); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d availability sweep diverged from workers=1 (%d vs %d bytes)",
+				w, len(got), len(want))
+		}
+	}
+}
+
+// TestFaultedReplicasDeterministicAcrossWorkers: a replica ensemble
+// run under a full chaos plan is identical at every worker count.
+func TestFaultedReplicasDeterministicAcrossWorkers(t *testing.T) {
+	plan := chaosPlan()
+	cfg := deployment.DefaultConfig()
+	cfg.Days = 1
+	cfg.Faults = &plan
+	want, err := deployment.RunReplicas(cfg, 3, determinismWorkers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range determinismWorkers[1:] {
+		got, err := deployment.RunReplicas(cfg, 3, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d faulted replica traces diverged from workers=1", w)
+		}
+	}
+}
+
+// TestEmptyPlanExportsMatchFaultFree: the acceptance gate for golden
+// outputs — a nil plan and an armed-but-empty plan produce
+// byte-identical ledger JSONL and metrics CSV for a full deployment
+// day.
+func TestEmptyPlanExportsMatchFaultFree(t *testing.T) {
+	render := func(plan *faults.Plan) []byte {
+		cfg := deployment.DefaultConfig()
+		cfg.Days = 1
+		cfg.Faults = plan
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Ledger = ledger.New()
+		if _, err := deployment.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cfg.Ledger.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := report.WriteMetricsCSV(&buf, cfg.Metrics.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	clean := render(nil)
+	empty := render(&faults.Plan{})
+	if !bytes.Equal(clean, empty) {
+		t.Fatalf("empty plan changed the exports (%d vs %d bytes)", len(empty), len(clean))
+	}
+}

@@ -51,19 +51,23 @@ func DefaultConfig() Config {
 
 // Battery is a stateful pack. Construct with New.
 type Battery struct {
-	cfg    Config
-	stored units.WattHours // energy currently held
-	cut    bool            // protection circuit open?
+	cfg      Config
+	stored   units.WattHours // energy currently held
+	cut      bool            // protection circuit open?
+	brownout bool            // injected bus brownout active?
 
 	// Lifetime counters for reporting.
-	totalIn  units.Joules
-	totalOut units.Joules
-	cutoffs  int
+	totalIn   units.Joules
+	totalOut  units.Joules
+	cutoffs   int
+	brownouts int
 
 	// Observability probes; all nil-safe no-ops until Instrument.
 	mChargeJ    *obs.Counter
 	mDischargeJ *obs.Counter
 	mCutoffs    *obs.Counter
+	mBrownouts  *obs.Counter
+	reg         *obs.Registry
 	gSoC        *obs.Gauge
 	tr          *obs.Tracer
 	clock       func() time.Time
@@ -73,11 +77,14 @@ type Battery struct {
 	lgHive string
 }
 
-// Metric names emitted by an instrumented battery.
+// Metric names emitted by an instrumented battery. The brownout
+// counter is registered lazily on the first injected brownout, so
+// fault-free metric snapshots stay byte-identical to earlier releases.
 const (
 	MetricChargeJ    = "battery_charge_j_total"
 	MetricDischargeJ = "battery_discharge_j_total"
 	MetricCutoffs    = "battery_cutoffs_total"
+	MetricBrownouts  = "battery_brownouts_total"
 	MetricSoC        = "battery_soc"
 )
 
@@ -91,6 +98,7 @@ func (b *Battery) Instrument(m *obs.Registry, tr *obs.Tracer, clock func() time.
 	b.mChargeJ = m.Counter(MetricChargeJ)
 	b.mDischargeJ = m.Counter(MetricDischargeJ)
 	b.mCutoffs = m.Counter(MetricCutoffs)
+	b.reg = m
 	b.gSoC = m.Gauge(MetricSoC)
 	b.gSoC.Set(b.SoC())
 	if clock != nil {
@@ -132,6 +140,8 @@ type Snapshot struct {
 	TotalOutJ units.Joules
 	// Cutoffs counts protection-circuit openings.
 	Cutoffs int
+	// Brownouts counts injected bus brownout windows entered.
+	Brownouts int
 	// LoadConnected reports whether discharge is currently allowed.
 	LoadConnected bool
 }
@@ -144,7 +154,8 @@ func (b *Battery) Snapshot() Snapshot {
 		TotalInJ:      b.totalIn,
 		TotalOutJ:     b.totalOut,
 		Cutoffs:       b.cutoffs,
-		LoadConnected: !b.cut,
+		Brownouts:     b.brownouts,
+		LoadConnected: !b.cut && !b.brownout,
 	}
 }
 
@@ -177,12 +188,44 @@ func (b *Battery) SoC() float64 {
 // Stored returns the energy currently held.
 func (b *Battery) Stored() units.WattHours { return b.stored }
 
-// LoadConnected reports whether the protection circuit currently allows
-// discharge.
-func (b *Battery) LoadConnected() bool { return !b.cut }
+// LoadConnected reports whether the pack currently delivers power: the
+// protection circuit is closed and no brownout window is active.
+func (b *Battery) LoadConnected() bool { return !b.cut && !b.brownout }
 
 // Cutoffs returns how many times the protection circuit opened.
 func (b *Battery) Cutoffs() int { return b.cutoffs }
+
+// Brownouts returns how many injected brownout windows the pack
+// entered.
+func (b *Battery) Brownouts() int { return b.brownouts }
+
+// SetBrownout opens (active=true) or closes the injected bus-brownout
+// switch: while open the pack delivers nothing, as if the output
+// converter stalled, independent of the state-of-charge protection
+// circuit. The fault injector drives this from its brownout windows;
+// repeated calls with the same state are no-ops, and each opening
+// transition is counted, traced, and (lazily) registered as the
+// battery_brownouts_total metric so fault-free snapshots are unchanged.
+func (b *Battery) SetBrownout(active bool) {
+	if active == b.brownout {
+		return
+	}
+	b.brownout = active
+	if active {
+		b.brownouts++
+		if b.mBrownouts == nil && b.reg != nil {
+			b.mBrownouts = b.reg.Counter(MetricBrownouts)
+		}
+		b.mBrownouts.Inc()
+		if b.tr != nil {
+			b.tr.Instant("battery brownout", "battery", obs.TidPower, b.clock(),
+				map[string]any{"soc": b.SoC()})
+		}
+	} else if b.tr != nil {
+		b.tr.Instant("battery brownout end", "battery", obs.TidPower, b.clock(),
+			map[string]any{"soc": b.SoC()})
+	}
+}
 
 // Totals returns lifetime charged and delivered energies.
 func (b *Battery) Totals() (in, out units.Joules) { return b.totalIn, b.totalOut }
@@ -229,7 +272,7 @@ func (b *Battery) Charge(p units.Watts, d time.Duration) units.Joules {
 // mid-interval (the paper's night outage), zero if the load is already
 // disconnected.
 func (b *Battery) Discharge(p units.Watts, d time.Duration) time.Duration {
-	if p <= 0 || d <= 0 || b.cut {
+	if p <= 0 || d <= 0 || b.cut || b.brownout {
 		return 0
 	}
 	need := units.Joules(float64(p.Energy(d)) / b.cfg.DischargeEfficiency)

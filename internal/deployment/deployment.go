@@ -16,6 +16,7 @@ import (
 
 	"beesim/internal/battery"
 	"beesim/internal/des"
+	"beesim/internal/faults"
 	"beesim/internal/hive"
 	"beesim/internal/ledger"
 	"beesim/internal/netsim"
@@ -23,9 +24,11 @@ import (
 	"beesim/internal/parallel"
 	"beesim/internal/power"
 	"beesim/internal/rng"
+	"beesim/internal/routine"
 	"beesim/internal/sensors"
 	"beesim/internal/solar"
 	"beesim/internal/timeseries"
+	"beesim/internal/stats"
 	"beesim/internal/units"
 	"beesim/internal/weather"
 )
@@ -65,6 +68,17 @@ type Config struct {
 	// TraceEngineEvents additionally records every DES scheduled/fired/
 	// cancelled event as an instant (verbose; off by default).
 	TraceEngineEvents bool
+
+	// Faults, when non-nil, arms the deterministic fault injector: the
+	// plan's windows are anchored at Start, its seed drives every
+	// stochastic fault decision, and its retry policy (or the default)
+	// governs uplink retries. A nil plan keeps the run on the exact
+	// fault-free path with byte-identical outputs.
+	Faults *faults.Plan
+	// UploadBufferCap bounds the buffer-and-drain queue for failed
+	// uploads (0 = routine.DefaultUploadBufferCap); only meaningful
+	// with Faults armed.
+	UploadBufferCap int
 
 	// Ledger, when non-nil, records every energy flow of the run as a
 	// typed entry: panel production, battery charge (harvest), monitor
@@ -122,6 +136,27 @@ type Trace struct {
 	MonitorEnergy units.Joules
 	// HarvestedEnergy is the panel total over the run.
 	HarvestedEnergy units.Joules
+
+	// Fault/recovery counters; all zero unless Config.Faults is armed.
+	//
+	// FailedUploads counts wake-ups whose upload exhausted the retry
+	// budget; their payloads go to the buffer. FlushedUploads counts
+	// buffered payloads delivered on a later wake-up, DroppedUploads
+	// payloads evicted from the full buffer, and BufferedUploads
+	// payloads still queued at the end of the run. UploadRetries counts
+	// attempts beyond each upload's first; RetryEnergy is the radio
+	// energy those failed attempts burned. SensorDropouts counts
+	// wake-ups whose SHT31 reading was lost to an injected sensor
+	// fault. Brownouts counts injected battery brownout windows
+	// entered.
+	FailedUploads   int
+	FlushedUploads  int
+	DroppedUploads  int
+	BufferedUploads int
+	UploadRetries   int
+	RetryEnergy     units.Joules
+	SensorDropouts  int
+	Brownouts       int
 }
 
 // Metric names emitted by an instrumented deployment run.
@@ -133,6 +168,16 @@ const (
 	MetricRecorderJ     = "deployment_recorder_j_total"
 	MetricMonitorJ      = "deployment_monitor_j_total"
 	MetricRoutineSecs   = "deployment_routine_seconds"
+)
+
+// Metric names emitted only when Config.Faults is armed, so fault-free
+// metric snapshots stay byte-identical to earlier releases.
+const (
+	MetricUploadFailures = "deployment_upload_failures_total"
+	MetricUploadsFlushed = "deployment_uploads_flushed_total"
+	MetricUploadsDropped = "deployment_uploads_dropped_total"
+	MetricUploadRetries  = "deployment_upload_retries_total"
+	MetricSensorDropouts = "deployment_sensor_dropouts_total"
 )
 
 // Run executes the deployment simulation.
@@ -202,6 +247,31 @@ func Run(cfg Config) (*Trace, error) {
 	mMonitor := cfg.Metrics.Counter(MetricMonitorJ)
 	hRoutine := cfg.Metrics.Histogram(MetricRoutineSecs, obs.DefaultSecondsBuckets())
 
+	// Fault injection: arm the uplink with retries, prepare the
+	// buffer-and-drain queue, and register the fault counters — all
+	// skipped for a nil or empty plan. An empty plan injects nothing,
+	// so treating it as nil keeps every output (including the metrics
+	// snapshot, which lists registered-but-zero counters) byte-identical
+	// to a fault-free build.
+	var inj *faults.Injector
+	var buf *routine.UploadBuffer
+	var mUploadFail, mFlushed, mDropped, mRetries, mSensorDrop *obs.Counter
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		inj, err = faults.NewInjector(*cfg.Faults, cfg.Start)
+		if err != nil {
+			return nil, err
+		}
+		if err := link.AttachFaults(inj, cfg.Faults.RetryOrDefault(), cfg.Metrics); err != nil {
+			return nil, err
+		}
+		buf = routine.NewUploadBuffer(cfg.UploadBufferCap)
+		mUploadFail = cfg.Metrics.Counter(MetricUploadFailures)
+		mFlushed = cfg.Metrics.Counter(MetricUploadsFlushed)
+		mDropped = cfg.Metrics.Counter(MetricUploadsDropped)
+		mRetries = cfg.Metrics.Counter(MetricUploadRetries)
+		mSensorDrop = cfg.Metrics.Counter(MetricSensorDropouts)
+	}
+
 	systemUp := true
 	routineUntil := cfg.Start // recorder is active until this time
 	send := pi.SendAudio()
@@ -229,6 +299,16 @@ func Run(cfg Config) (*Trace, error) {
 			systemUp = stable
 		} else {
 			systemUp = pack.LoadConnected()
+		}
+		if inj != nil {
+			// Injected faults override the weather: a battery brownout
+			// opens the pack's load path and a node crash (or its
+			// reboot tail) takes the whole system down.
+			bo := inj.BatteryBrownout(now)
+			pack.SetBrownout(bo)
+			if bo || !inj.NodeUp(now) {
+				systemUp = false
+			}
 		}
 		if wasUp && !systemUp {
 			tr.Outages++
@@ -302,23 +382,83 @@ func Run(cfg Config) (*Trace, error) {
 		}
 		tr.Wakeups++
 		mWakeups.Inc()
-		// Routine duration varies with the link (Section IV).
-		transfer := link.Send(netsim.RoutinePayload())
-		routineDur := fixedDur + transfer.Duration
-		routineUntil = now.Add(routineDur)
-		hRoutine.Observe(routineDur.Seconds())
-		cfg.Tracer.Span("wake-up routine", "deployment", obs.TidRoutine, now, routineDur,
-			map[string]any{
-				"joules":         float64(fixedEnergy) + float64(send.Power().Energy(transfer.Duration)),
-				"transfer_bytes": int64(transfer.Payload),
-				"transfer_us":    transfer.Duration.Microseconds(),
-			})
+		if inj == nil {
+			// Fault-free path, byte-identical to earlier releases.
+			// Routine duration varies with the link (Section IV).
+			transfer := link.Send(netsim.RoutinePayload())
+			routineDur := fixedDur + transfer.Duration
+			routineUntil = now.Add(routineDur)
+			hRoutine.Observe(routineDur.Seconds())
+			cfg.Tracer.Span("wake-up routine", "deployment", obs.TidRoutine, now, routineDur,
+				map[string]any{
+					"joules":         float64(fixedEnergy) + float64(send.Power().Energy(transfer.Duration)),
+					"transfer_bytes": int64(transfer.Payload),
+					"transfer_us":    transfer.Duration.Microseconds(),
+				})
+		} else {
+			// Fault-aware path: retry the upload under the armed
+			// policy, buffer it on failure, and drain the backlog
+			// behind a successful send. The radio-busy time (attempts,
+			// backoff waits, transfers) extends the routine, so the
+			// battery accounting in envTick prices every retry
+			// automatically.
+			out := link.SendAt(now, netsim.RoutinePayload())
+			tr.UploadRetries += out.Attempts - 1
+			mRetries.Add(float64(out.Attempts - 1))
+			tr.RetryEnergy += out.RetryEnergy
+			busy := out.TotalDuration
+			if out.Delivered {
+				t := now.Add(busy)
+				var drainRetryE stats.Kahan
+				for buf.Len() > 0 {
+					p, _ := buf.Pop()
+					drain := link.SendAt(t, p)
+					tr.UploadRetries += drain.Attempts - 1
+					mRetries.Add(float64(drain.Attempts - 1))
+					drainRetryE.Add(float64(drain.RetryEnergy))
+					busy += drain.TotalDuration
+					if !drain.Delivered {
+						buf.PushFront(p)
+						break
+					}
+					tr.FlushedUploads++
+					mFlushed.Inc()
+					t = t.Add(drain.TotalDuration)
+				}
+				tr.RetryEnergy += units.Joules(drainRetryE.Sum())
+			} else {
+				tr.FailedUploads++
+				mUploadFail.Inc()
+				if buf.Push(netsim.RoutinePayload()) {
+					tr.DroppedUploads++
+					mDropped.Inc()
+				}
+				cfg.Tracer.Instant("upload failed", "deployment", obs.TidNetwork, now,
+					map[string]any{"attempts": out.Attempts})
+			}
+			routineDur := fixedDur + busy
+			routineUntil = now.Add(routineDur)
+			hRoutine.Observe(routineDur.Seconds())
+			cfg.Tracer.Span("wake-up routine", "deployment", obs.TidRoutine, now, routineDur,
+				map[string]any{
+					"joules":    float64(fixedEnergy) + float64(send.Power().Energy(busy)),
+					"attempts":  out.Attempts,
+					"delivered": out.Delivered,
+				})
+		}
 
-		// Sensor readings at the queen excluder.
-		st := colony.StateAt(wx.At(now))
-		temp, rh := sht.Read(now, st)
-		tr.InsideTemp.MustAppend(now, temp.Value)
-		tr.InsideHumidity.MustAppend(now, rh.Value)
+		// Sensor readings at the queen excluder; an injected sensor
+		// dropout silences the reading (inj nil-safe: always OK).
+		if inj.SensorOK(now) {
+			st := colony.StateAt(wx.At(now))
+			temp, rh := sht.Read(now, st)
+			tr.InsideTemp.MustAppend(now, temp.Value)
+			tr.InsideHumidity.MustAppend(now, rh.Value)
+		} else {
+			tr.SensorDropouts++
+			mSensorDrop.Inc()
+			cfg.Tracer.Instant("sensor dropout", "deployment", obs.TidRoutine, now, nil)
+		}
 	}
 
 	if _, err := sim.Every(cfg.SampleEvery, envTick); err != nil {
@@ -329,6 +469,11 @@ func Run(cfg Config) (*Trace, error) {
 	}
 	sim.Run(cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour))
 	cfg.Ledger.SetStore(hiveID, "battery", initialStoredJ, float64(pack.Stored().Joules()))
+	if buf != nil {
+		tr.BufferedUploads = buf.Len()
+		tr.DroppedUploads = buf.Dropped()
+	}
+	tr.Brownouts = pack.Brownouts()
 	return tr, nil
 }
 

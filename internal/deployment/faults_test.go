@@ -1,0 +1,161 @@
+package deployment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"beesim/internal/faults"
+	"beesim/internal/netsim"
+	"beesim/internal/obs"
+)
+
+// faultMetricPrefixes are the metric families that must never leak into
+// a fault-free snapshot (pre-registering them would change golden
+// metrics exports).
+var faultMetricPrefixes = []string{
+	"deployment_upload", "deployment_sensor",
+	"netsim_send_attempts", "netsim_send_failures", "netsim_send_retries",
+	"netsim_send_drops", "netsim_retry_energy",
+	"battery_brownouts",
+}
+
+func TestFaultMetricsAbsentWithoutPlan(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Days = 1
+	cfg.Metrics = obs.NewRegistry()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cfg.Metrics.Snapshot().Counters {
+		for _, p := range faultMetricPrefixes {
+			if strings.HasPrefix(c.Name, p) {
+				t.Errorf("fault-free run registered %q", c.Name)
+			}
+		}
+	}
+}
+
+func TestFaultMetricsPresentWithPlan(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Days = 1
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Faults = &faults.Plan{Seed: 2, Link: faults.LinkFaults{DropProb: 0.5}}
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]float64{}
+	for _, c := range cfg.Metrics.Snapshot().Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters[netsim.MetricSendAttempts] == 0 {
+		t.Fatal("no send attempts counted under a lossy plan")
+	}
+	if counters[netsim.MetricSendRetries] == 0 || tr.UploadRetries == 0 {
+		t.Fatalf("p=0.5 plan produced no retries (counter %g, trace %d)",
+			counters[netsim.MetricSendRetries], tr.UploadRetries)
+	}
+	if float64(tr.UploadRetries) != counters[MetricUploadRetries] {
+		t.Fatalf("trace retries %d != counter %g", tr.UploadRetries, counters[MetricUploadRetries])
+	}
+	if tr.RetryEnergy <= 0 {
+		t.Fatal("retries burned no energy")
+	}
+}
+
+// TestEmptyPlanTraceMatchesNoPlan: arming an empty plan must not change
+// the simulation's outputs — the PR-4 byte-identity contract extended
+// to the fault layer.
+func TestEmptyPlanTraceMatchesNoPlan(t *testing.T) {
+	base := shortCfg()
+	base.Days = 1
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armedCfg := shortCfg()
+	armedCfg.Days = 1
+	armedCfg.Faults = &faults.Plan{}
+	armed, err := Run(armedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clean, armed) {
+		t.Fatalf("empty plan changed the trace:\nclean: %+v\narmed: %+v", clean, armed)
+	}
+}
+
+// TestNodeCrashCausesMissedWakeups: a midday crash window downs the
+// node during hours the clean run works through.
+func TestNodeCrashCausesMissedWakeups(t *testing.T) {
+	base := shortCfg()
+	base.Days = 1
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := shortCfg()
+	crashed.Days = 1
+	crashed.Faults = &faults.Plan{Node: faults.NodeFaults{
+		Crashes: []faults.Window{{StartS: 11 * 3600, DurationS: 2 * 3600}},
+		RebootS: 600,
+	}}
+	tr, err := Run(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MissedWakeups <= clean.MissedWakeups {
+		t.Fatalf("midday crash missed %d wake-ups, clean run %d",
+			tr.MissedWakeups, clean.MissedWakeups)
+	}
+	if tr.Wakeups >= clean.Wakeups {
+		t.Fatalf("crashed run completed %d routines, clean %d", tr.Wakeups, clean.Wakeups)
+	}
+}
+
+// TestSensorDropoutsThinTheSeries: silenced sensors are counted and
+// produce visibly fewer temperature samples.
+func TestSensorDropoutsThinTheSeries(t *testing.T) {
+	base := shortCfg()
+	base.Days = 1
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muted := shortCfg()
+	muted.Days = 1
+	muted.Faults = &faults.Plan{Seed: 4, Sensors: faults.SensorFaults{DropProb: 0.5}}
+	tr, err := Run(muted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.SensorDropouts == 0 {
+		t.Fatal("p=0.5 sensors never dropped")
+	}
+	if tr.InsideTemp.Len() >= clean.InsideTemp.Len() {
+		t.Fatalf("dropouts did not thin the series: %d vs clean %d",
+			tr.InsideTemp.Len(), clean.InsideTemp.Len())
+	}
+	if tr.SensorDropouts+tr.InsideTemp.Len() != clean.InsideTemp.Len() {
+		t.Fatalf("dropouts (%d) + samples (%d) != clean samples (%d)",
+			tr.SensorDropouts, tr.InsideTemp.Len(), clean.InsideTemp.Len())
+	}
+}
+
+// TestBrownoutWindowCounted: a plan brownout registers on the battery
+// and downs the system inside its window.
+func TestBrownoutWindowCounted(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Days = 1
+	cfg.Faults = &faults.Plan{Battery: faults.BatteryFaults{
+		Brownouts: []faults.Window{{StartS: 12 * 3600, DurationS: 1800}},
+	}}
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Brownouts < 1 {
+		t.Fatalf("brownout window never registered: %d", tr.Brownouts)
+	}
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"beesim/internal/faults"
+	"beesim/internal/ledger"
+	"beesim/internal/obs"
+	"beesim/internal/report"
+)
+
+// fastAvailCfg shrinks the sweep to test size: a coarse client grid
+// around the Figure 7 crossover and a short availability grid.
+func fastAvailCfg(t *testing.T) AvailabilityConfig {
+	t.Helper()
+	cfg, err := DefaultAvailabilityConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Step = 50
+	cfg.AvailSteps = 4
+	return cfg
+}
+
+func TestAvailabilityConfigValidate(t *testing.T) {
+	cfg := fastAvailCfg(t)
+	bad := []func(*AvailabilityConfig){
+		func(c *AvailabilityConfig) { c.AvailSteps = 0 },
+		func(c *AvailabilityConfig) { c.AvailFrom = -0.1 },
+		func(c *AvailabilityConfig) { c.AvailTo = 1.5 },
+		func(c *AvailabilityConfig) { c.AvailFrom = 0.9; c.AvailTo = 0.5 },
+		func(c *AvailabilityConfig) { c.Retry.MaxAttempts = 0 },
+	}
+	for i, mutate := range bad {
+		c := cfg
+		mutate(&c)
+		if _, err := AvailabilitySweep(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestAvailabilityGrid(t *testing.T) {
+	cfg := AvailabilityConfig{AvailFrom: 0.5, AvailTo: 1, AvailSteps: 6}
+	g := cfg.grid()
+	want := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1}
+	if len(g) != len(want) {
+		t.Fatalf("grid = %v", g)
+	}
+	for i := range want {
+		if diff := g[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("grid[%d] = %g, want %g", i, g[i], want[i])
+		}
+	}
+	one := AvailabilityConfig{AvailFrom: 0.7, AvailTo: 0.7, AvailSteps: 1}
+	if g := one.grid(); len(g) != 1 || g[0] != 0.7 {
+		t.Fatalf("single-point grid = %v", g)
+	}
+}
+
+// TestAvailabilityCrossoverShifts is the Figure-6/7-style result the
+// tentpole exists for: on a healthy link the edge+cloud scenario starts
+// winning at the paper's crossover; as availability falls the crossover
+// moves to larger fleets and finally disappears.
+func TestAvailabilityCrossoverShifts(t *testing.T) {
+	cfg := fastAvailCfg(t)
+	cfg.AvailFrom, cfg.AvailTo, cfg.AvailSteps = 0.5, 1.0, 6
+	pts, err := AvailabilitySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := pts[len(pts)-1] // availability 1
+	if best.Availability != 1 || best.FirstCrossover == 0 {
+		t.Fatalf("healthy link has no crossover: %+v", best)
+	}
+	worst := pts[0] // availability 0.5
+	if worst.FirstCrossover != 0 {
+		t.Fatalf("half-dead link still crosses over at %d clients", worst.FirstCrossover)
+	}
+	// Where the crossover exists it must not shrink as the link degrades
+	// (points are in ascending availability, so walk backwards).
+	prev := best.FirstCrossover
+	for i := len(pts) - 2; i >= 0; i-- {
+		p := pts[i]
+		if p.FirstCrossover == 0 {
+			continue
+		}
+		if p.FirstCrossover < prev {
+			t.Fatalf("crossover shrank from %d to %d as availability fell to %g",
+				prev, p.FirstCrossover, p.Availability)
+		}
+		prev = p.FirstCrossover
+	}
+	// The edge-only scenario never touches the uplink: its energy must
+	// be identical at every availability.
+	for _, p := range pts {
+		if p.EdgeJClient != best.EdgeJClient {
+			t.Fatalf("edge-only energy moved with availability: %v vs %v",
+				p.EdgeJClient, best.EdgeJClient)
+		}
+		if p.CloudJClient < best.CloudJClient {
+			t.Fatalf("degraded cloud cycle cheaper than healthy: %+v", p)
+		}
+	}
+}
+
+// renderAvailability serializes every export of an availability sweep
+// for byte-comparison across worker counts.
+func renderAvailability(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg := fastAvailCfg(t)
+	cfg.Workers = workers
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Ledger = ledger.New()
+	pts, err := AvailabilitySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, cloud, crossover, delivered, err := AvailabilitySeries(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteSeriesCSV(&buf, "availability", edge, cloud, crossover, delivered); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Ledger.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteMetricsCSV(&buf, cfg.Metrics.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAvailabilitySweepWorkerByteIdentity: CSV, ledger JSONL and
+// metrics snapshot agree byte for byte at any worker count (the
+// parallel_workers gauge is masked by using equal worker values in the
+// registry — the gauge records the resolved count, so compare 1 vs 2
+// vs 8 after masking is not needed here because Record writes the
+// resolved value; instead we strip it via the masked CSV in the root
+// determinism suite and assert the rest here).
+func TestAvailabilitySweepWorkerByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("inner sweeps are sizeable")
+	}
+	base := renderAvailability(t, 1)
+	for _, w := range []int{2, 8} {
+		if got := renderAvailability(t, w); !bytes.Equal(maskWorkerGauge(got), maskWorkerGauge(base)) {
+			t.Fatalf("workers=%d output diverged from serial", w)
+		}
+	}
+}
+
+// maskWorkerGauge blanks the parallel_workers gauge line, the only
+// export line that legitimately varies with the worker count.
+func maskWorkerGauge(b []byte) []byte {
+	lines := bytes.Split(b, []byte("\n"))
+	for i, l := range lines {
+		if bytes.Contains(l, []byte("parallel_workers")) {
+			lines[i] = []byte("parallel_workers,MASKED")
+		}
+	}
+	return bytes.Join(lines, []byte("\n"))
+}
+
+// TestAvailabilityLedgerAuditGreen: the sweep's attribution entries
+// audit clean at every point.
+func TestAvailabilityLedgerAuditGreen(t *testing.T) {
+	cfg := fastAvailCfg(t)
+	cfg.Ledger = ledger.New()
+	if _, err := AvailabilitySweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+	rep := ledger.Audit(cfg.Ledger, ledger.DefaultTolerance())
+	if !rep.OK() {
+		t.Fatalf("availability ledger audit failed: %s (%v)", rep.String(), rep.Violations)
+	}
+	if cfg.Ledger.Len() != 2*cfg.AvailSteps {
+		t.Fatalf("ledger entries = %d, want two per point (%d)", cfg.Ledger.Len(), 2*cfg.AvailSteps)
+	}
+}
+
+func TestDegradeServiceLeavesEdgeAlone(t *testing.T) {
+	svc, err := defaultService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DegradeService(svc, 0.5, faults.DefaultRetryPolicy(), 100, 200)
+	if d.EdgeOnlyCycle != svc.EdgeOnlyCycle {
+		t.Fatal("degradation touched the edge-only cycle")
+	}
+	if d.EdgeCloudCycle <= svc.EdgeCloudCycle {
+		t.Fatal("degradation did not raise the edge+cloud cycle")
+	}
+	if same := DegradeService(svc, 1, faults.DefaultRetryPolicy(), 100, 200); same != svc {
+		t.Fatal("availability 1 changed the service")
+	}
+}

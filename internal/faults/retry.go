@@ -1,0 +1,231 @@
+// Retry policy: capped exponential backoff with deterministic jitter.
+
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+)
+
+// MaxAttemptBudget bounds MaxAttempts: no policy may spin more than
+// this many attempts per upload, so a retry loop always terminates.
+const MaxAttemptBudget = 64
+
+// RetryPolicy is the recovery side of a fault plan: how the uplink
+// retries a failed send. Backoff grows geometrically from Base by
+// Multiplier per failure, is capped at Max, and is spread by a
+// deterministic jitter of ±JitterFrac around the nominal delay. Each
+// failed attempt costs the radio the link setup time plus
+// AttemptTimeout of transmit-power draw before the failure is declared.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per upload (first try
+	// included), in [1, MaxAttemptBudget].
+	MaxAttempts int
+	// Base is the nominal delay before the first retry.
+	Base time.Duration
+	// Max caps the backoff delay, jitter included.
+	Max time.Duration
+	// Multiplier scales the delay after each failure (>= 1).
+	Multiplier float64
+	// JitterFrac spreads each delay uniformly in ±JitterFrac of its
+	// nominal value, in [0, 1].
+	JitterFrac float64
+	// AttemptTimeout is how long the radio waits on an unresponsive
+	// link before declaring one attempt failed.
+	AttemptTimeout time.Duration
+}
+
+// DefaultRetryPolicy is the policy used when a plan does not override
+// it: four attempts, 2 s initial backoff doubling to a 30 s cap with
+// ±20 % jitter, 5 s per-attempt timeout.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:    4,
+		Base:           2 * time.Second,
+		Max:            30 * time.Second,
+		Multiplier:     2,
+		JitterFrac:     0.2,
+		AttemptTimeout: 5 * time.Second,
+	}
+}
+
+// Validate rejects policies that could stall the simulation or produce
+// negative delays.
+func (p RetryPolicy) Validate() error {
+	if p.MaxAttempts < 1 || p.MaxAttempts > MaxAttemptBudget {
+		return fmt.Errorf("faults: retry max_attempts %d outside [1, %d]", p.MaxAttempts, MaxAttemptBudget)
+	}
+	if p.Base < 0 {
+		return fmt.Errorf("faults: negative retry base %v", p.Base)
+	}
+	if p.Max < p.Base {
+		return fmt.Errorf("faults: retry max %v below base %v", p.Max, p.Base)
+	}
+	if math.IsNaN(p.Multiplier) || math.IsInf(p.Multiplier, 0) || p.Multiplier < 1 {
+		return fmt.Errorf("faults: retry multiplier %g must be finite and >= 1", p.Multiplier)
+	}
+	if !(p.JitterFrac >= 0 && p.JitterFrac <= 1) {
+		return fmt.Errorf("faults: retry jitter_frac %g outside [0, 1]", p.JitterFrac)
+	}
+	if p.AttemptTimeout < 0 {
+		return fmt.Errorf("faults: negative retry attempt_timeout %v", p.AttemptTimeout)
+	}
+	return nil
+}
+
+// Backoff returns the delay before the retry that follows failed
+// attempt number attempt (1-based), using u in [0, 1) as the jitter
+// draw. The result is always in [0, Max]: the nominal delay
+// Base·Multiplier^(attempt-1) is capped at Max before and after the
+// jitter factor 1 + JitterFrac·(2u−1) is applied, and a sub-zero
+// product (impossible for JitterFrac <= 1, but guarded anyway) clamps
+// to zero. Backoff never draws randomness itself — callers supply u,
+// typically from Injector.JitterU, keeping the delay a pure function of
+// the upload's identity.
+func (p RetryPolicy) Backoff(attempt int, u float64) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	maxS := p.Max.Seconds()
+	d := p.Base.Seconds() * math.Pow(p.Multiplier, float64(attempt-1))
+	if !(d < maxS) { // also catches NaN/+Inf from extreme pow results
+		d = maxS
+	}
+	if !(u >= 0 && u < 1) {
+		u = 0.5 // out-of-range or NaN draws degrade to no jitter
+	}
+	d *= 1 + p.JitterFrac*(2*u-1)
+	if d < 0 {
+		d = 0
+	}
+	if d > maxS {
+		d = maxS
+	}
+	return time.Duration(d * float64(time.Second))
+}
+
+// DeliveryProb returns the probability that an upload is delivered
+// within the attempt budget when each attempt independently succeeds
+// with probability avail.
+func (p RetryPolicy) DeliveryProb(avail float64) float64 {
+	avail = clamp01(avail)
+	return 1 - math.Pow(1-avail, float64(p.MaxAttempts))
+}
+
+// ExpectedAttempts returns the expected number of attempts consumed per
+// upload (counting the final, possibly failed, attempt) when each
+// attempt independently succeeds with probability avail.
+func (p RetryPolicy) ExpectedAttempts(avail float64) float64 {
+	avail = clamp01(avail)
+	k := float64(p.MaxAttempts)
+	if avail == 0 {
+		return k
+	}
+	// Sum over the truncated geometric distribution:
+	// E[N] = (1 - (1-a)^K) / a, clamped to its mathematical range
+	// [1, K] — the float evaluation can land a few ulps below 1
+	// (e.g. K = 1, a = 1/6), which would leak a negative retry tax.
+	e := (1 - math.Pow(1-avail, k)) / avail
+	if e < 1 {
+		return 1
+	}
+	if e > k {
+		return k
+	}
+	return e
+}
+
+// RetryTax returns the expected extra edge energy per upload cycle on
+// a link where each attempt succeeds with probability avail: every
+// attempt beyond the first re-pays the upload energy, and an upload
+// that exhausts the budget pays the local-inference fallback instead.
+// At avail = 1 the tax is zero, which is how degraded planning reduces
+// to the paper's fault-free model.
+func (p RetryPolicy) RetryTax(avail, uploadEnergy, fallbackEnergy float64) float64 {
+	return (p.ExpectedAttempts(avail)-1)*uploadEnergy +
+		(1-p.DeliveryProb(avail))*fallbackEnergy
+}
+
+func clamp01(x float64) float64 {
+	if !(x > 0) { // catches NaN and negatives
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// retryWire is the JSON form of a policy: durations as float seconds,
+// so a plan file reads naturally and the parser can reject non-finite
+// values before they become time.Durations.
+type retryWire struct {
+	MaxAttempts     int     `json:"max_attempts"`
+	BaseS           float64 `json:"base_s"`
+	MaxS            float64 `json:"max_s"`
+	Multiplier      float64 `json:"multiplier"`
+	JitterFrac      float64 `json:"jitter_frac"`
+	AttemptTimeoutS float64 `json:"attempt_timeout_s"`
+}
+
+// MarshalJSON encodes the policy with durations as float seconds.
+func (p RetryPolicy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(retryWire{
+		MaxAttempts:     p.MaxAttempts,
+		BaseS:           p.Base.Seconds(),
+		MaxS:            p.Max.Seconds(),
+		Multiplier:      p.Multiplier,
+		JitterFrac:      p.JitterFrac,
+		AttemptTimeoutS: p.AttemptTimeout.Seconds(),
+	})
+}
+
+// UnmarshalJSON decodes the float-seconds wire form, rejecting unknown
+// fields and non-finite or overflowing durations. Range validation
+// (negative durations, out-of-range probabilities) happens in Validate.
+func (p *RetryPolicy) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w retryWire
+	if err := dec.Decode(&w); err != nil {
+		return err
+	}
+	base, err := secondsToDuration("retry.base_s", w.BaseS)
+	if err != nil {
+		return err
+	}
+	maxD, err := secondsToDuration("retry.max_s", w.MaxS)
+	if err != nil {
+		return err
+	}
+	timeout, err := secondsToDuration("retry.attempt_timeout_s", w.AttemptTimeoutS)
+	if err != nil {
+		return err
+	}
+	*p = RetryPolicy{
+		MaxAttempts:    w.MaxAttempts,
+		Base:           base,
+		Max:            maxD,
+		Multiplier:     w.Multiplier,
+		JitterFrac:     w.JitterFrac,
+		AttemptTimeout: timeout,
+	}
+	return nil
+}
+
+// secondsToDuration converts wire float seconds to a duration,
+// rejecting NaN, infinities and magnitudes that would overflow int64
+// nanoseconds. Negative values convert (and are rejected by Validate)
+// so the error message can name the field that went negative.
+func secondsToDuration(field string, s float64) (time.Duration, error) {
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return 0, fmt.Errorf("faults: %s is not finite", field)
+	}
+	if math.Abs(s) > maxPlanSeconds {
+		return 0, fmt.Errorf("faults: %s exceeds %g s", field, float64(maxPlanSeconds))
+	}
+	return time.Duration(s * float64(time.Second)), nil
+}

@@ -1,0 +1,157 @@
+// Fault-aware sending: retry/backoff around the stochastic link.
+//
+// SendAt is the fault-tolerant sibling of Send. With no injector
+// attached it delegates to Send unchanged — same rng draw sequence,
+// same probes, zero extra allocations — so arming faults is strictly
+// opt-in and the fault-free outputs stay byte-identical. With an
+// injector attached, each upload spends a budget of attempts governed
+// by the retry policy: a failed attempt burns setup-plus-timeout of
+// radio energy (accounted in the ledger as "uplink retry"), backoff
+// waits between attempts use the injector's deterministic jitter, and
+// the whole episode is summarized in an Outcome.
+
+package netsim
+
+import (
+	"time"
+
+	"beesim/internal/faults"
+	"beesim/internal/ledger"
+	"beesim/internal/obs"
+	"beesim/internal/stats"
+	"beesim/internal/units"
+)
+
+// Metric names emitted by a fault-armed link (registered by
+// AttachFaults, so fault-free runs carry none of them).
+const (
+	MetricSendAttempts = "netsim_send_attempts_total"
+	MetricSendFailures = "netsim_send_failures_total"
+	MetricSendRetries  = "netsim_send_retries_total"
+	MetricSendDrops    = "netsim_send_drops_total"
+	MetricRetryEnergyJ = "netsim_retry_energy_j_total"
+)
+
+// Outcome is the result of one fault-aware upload: the delivered
+// transfer (zero when the attempt budget ran out), how many attempts it
+// took, the radio energy burned by the failed ones, and the total
+// radio-busy time including backoff waits.
+type Outcome struct {
+	Transfer
+	// Delivered reports whether any attempt succeeded.
+	Delivered bool
+	// Attempts is the number of attempts consumed (>= 1).
+	Attempts int
+	// RetryEnergy is the radio energy of the failed attempts; the
+	// delivered transfer's own energy is in Transfer.ExtraEnergy.
+	RetryEnergy units.Joules
+	// TotalDuration spans first attempt to final verdict: failed
+	// attempts, backoff waits, and the delivered transfer.
+	TotalDuration time.Duration
+}
+
+// AttachFaults arms the link with a fault injector and retry policy and
+// registers the retry counters on m (which may be nil for uncounted
+// runs). A nil injector is a no-op: the link stays on the exact
+// fault-free path. Call after Instrument so the fault counters land in
+// the same registry as the transfer metrics.
+func (l *Link) AttachFaults(inj *faults.Injector, pol faults.RetryPolicy, m *obs.Registry) error {
+	if inj == nil {
+		return nil
+	}
+	if err := pol.Validate(); err != nil {
+		return err
+	}
+	l.inj = inj
+	l.retry = pol
+	l.mAttempts = m.Counter(MetricSendAttempts)
+	l.mFailures = m.Counter(MetricSendFailures)
+	l.mRetries = m.Counter(MetricSendRetries)
+	l.mDrops = m.Counter(MetricSendDrops)
+	l.mRetryEnergy = m.Counter(MetricRetryEnergyJ)
+	return nil
+}
+
+// SendAt uploads payload starting at virtual instant now, retrying
+// failed attempts under the armed policy. Without an armed injector it
+// is exactly Send.
+func (l *Link) SendAt(now time.Time, payload Bytes) Outcome {
+	if l.inj == nil {
+		t := l.Send(payload)
+		return Outcome{Transfer: t, Delivered: true, Attempts: 1, TotalDuration: t.Duration}
+	}
+	var elapsed time.Duration
+	var retryE stats.Kahan
+	budget := l.retry.MaxAttempts
+	for a := 1; a <= budget; a++ {
+		at := now.Add(elapsed)
+		l.mAttempts.Inc()
+		if l.inj.LinkUp(at) && !l.inj.DropUpload(at, a) {
+			t := l.sample(payload)
+			l.mTransfers.Inc()
+			l.mBytes.Add(float64(t.Payload))
+			l.mTxEnergy.Add(float64(t.ExtraEnergy))
+			l.hSeconds.Observe(t.Duration.Seconds())
+			if l.tr != nil {
+				l.traceTransfer(at, t)
+			}
+			if l.lg != nil {
+				l.ledgerTransfer(at, t)
+			}
+			return Outcome{
+				Transfer:      t,
+				Delivered:     true,
+				Attempts:      a,
+				RetryEnergy:   units.Joules(retryE.Sum()),
+				TotalDuration: elapsed + t.Duration,
+			}
+		}
+		elapsed += l.failAttempt(at, &retryE)
+		if a < budget {
+			l.mRetries.Inc()
+			elapsed += l.retry.Backoff(a, l.inj.JitterU(at, a))
+		}
+	}
+	l.mDrops.Inc()
+	return Outcome{
+		Attempts:      budget,
+		RetryEnergy:   units.Joules(retryE.Sum()),
+		TotalDuration: elapsed,
+	}
+}
+
+// failAttempt accounts one failed attempt: the radio stays up for the
+// link setup plus the attempt timeout before declaring failure, burning
+// transmit power the whole time. The energy lands in the ledger as an
+// attribution-only "uplink retry" entry (skipped when it rounds to
+// zero, mirroring the zero-energy transfer rule) and in the retry
+// counters; the duration is returned for the caller's virtual clock.
+func (l *Link) failAttempt(at time.Time, retryE *stats.Kahan) time.Duration {
+	d := l.cfg.SetupTime + l.retry.AttemptTimeout
+	e := l.cfg.TxPower.Energy(d)
+	retryE.Add(float64(e))
+	l.mFailures.Inc()
+	l.mTxEnergy.Add(float64(e))
+	l.mRetryEnergy.Add(float64(e))
+	if l.tr != nil {
+		l.tr.Instant("uplink retry", "net", obs.TidNetwork, at, map[string]any{
+			"tx_joules": float64(e),
+			"timeout_s": d.Seconds(),
+		})
+	}
+	if l.lg != nil && e > 0 {
+		l.lg.Append(ledger.Entry{
+			T: at, Hive: l.lgHive, Device: "edge", Component: "radio",
+			Task: "uplink retry", Dir: ledger.Consume,
+			Joules: float64(e), Seconds: d.Seconds(),
+		})
+	}
+	return d
+}
+
+// Faulted reports whether a fault injector is armed on the link.
+func (l *Link) Faulted() bool { return l.inj != nil }
+
+// RetryPolicy returns the armed retry policy (zero value when no
+// injector is armed).
+func (l *Link) RetryPolicy() faults.RetryPolicy { return l.retry }

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"time"
 
+	"beesim/internal/faults"
 	"beesim/internal/ledger"
 	"beesim/internal/obs"
 	"beesim/internal/rng"
@@ -88,6 +89,16 @@ type Link struct {
 	// Energy-ledger probe; nil-safe no-op until AttachLedger.
 	lg     *ledger.Ledger
 	lgHive string
+
+	// Fault-injection state; nil inj keeps Send/SendAt on the exact
+	// fault-free path (see faults.go).
+	inj          *faults.Injector
+	retry        faults.RetryPolicy
+	mAttempts    *obs.Counter
+	mFailures    *obs.Counter
+	mRetries     *obs.Counter
+	mDrops       *obs.Counter
+	mRetryEnergy *obs.Counter
 }
 
 // Metric names emitted by an instrumented link.
@@ -155,6 +166,22 @@ type Transfer struct {
 // Send simulates uploading payload over the link, drawing a fresh
 // throughput sample. Zero payloads take only the setup time.
 func (l *Link) Send(payload Bytes) Transfer {
+	t := l.sample(payload)
+	l.mTransfers.Inc()
+	l.mBytes.Add(float64(payload))
+	l.mTxEnergy.Add(float64(t.ExtraEnergy))
+	l.hSeconds.Observe(t.Duration.Seconds())
+	if l.tr != nil {
+		l.traceTransfer(l.clock(), t)
+	}
+	if l.lg != nil {
+		l.ledgerTransfer(l.clock(), t)
+	}
+	return t
+}
+
+// sample draws one throughput realization and prices the transfer.
+func (l *Link) sample(payload Bytes) Transfer {
 	if payload < 0 {
 		payload = 0
 	}
@@ -165,31 +192,37 @@ func (l *Link) Send(payload Bytes) Transfer {
 	}
 	d := l.cfg.SetupTime +
 		time.Duration(float64(payload)/tput*float64(time.Second))
-	t := Transfer{
+	return Transfer{
 		Payload:     payload,
 		Duration:    d,
 		Throughput:  tput,
 		ExtraEnergy: l.cfg.TxPower.Energy(d),
 	}
-	l.mTransfers.Inc()
-	l.mBytes.Add(float64(payload))
-	l.mTxEnergy.Add(float64(t.ExtraEnergy))
-	l.hSeconds.Observe(d.Seconds())
-	if l.tr != nil {
-		l.tr.Span("uplink transfer", "net", obs.TidNetwork, l.clock(), d, map[string]any{
-			"bytes":        int64(payload),
-			"throughput_b": tput,
-			"tx_joules":    float64(t.ExtraEnergy),
-		})
+}
+
+// traceTransfer emits the transfer span at its virtual start time.
+func (l *Link) traceTransfer(at time.Time, t Transfer) {
+	l.tr.Span("uplink transfer", "net", obs.TidNetwork, at, t.Duration, map[string]any{
+		"bytes":        int64(t.Payload),
+		"throughput_b": t.Throughput,
+		"tx_joules":    float64(t.ExtraEnergy),
+	})
+}
+
+// ledgerTransfer appends the transfer's radio energy. Zero-energy
+// transfers (a zero-power radio, or a zero-duration transfer) are
+// skipped: they carry no flow, and under retry the same virtual instant
+// can see several of them, which would otherwise pile up duplicate
+// zero-joule entries at one timestamp.
+func (l *Link) ledgerTransfer(at time.Time, t Transfer) {
+	if t.ExtraEnergy <= 0 {
+		return
 	}
-	if l.lg != nil && t.ExtraEnergy > 0 {
-		l.lg.Append(ledger.Entry{
-			T: l.clock(), Hive: l.lgHive, Device: "edge", Component: "radio",
-			Task: "uplink transfer", Dir: ledger.Consume,
-			Joules: float64(t.ExtraEnergy), Seconds: d.Seconds(),
-		})
-	}
-	return t
+	l.lg.Append(ledger.Entry{
+		T: at, Hive: l.lgHive, Device: "edge", Component: "radio",
+		Task: "uplink transfer", Dir: ledger.Consume,
+		Joules: float64(t.ExtraEnergy), Seconds: t.Duration.Seconds(),
+	})
 }
 
 // ExpectedDuration returns the transfer time at exactly the nominal

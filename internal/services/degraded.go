@@ -1,0 +1,54 @@
+// Availability-aware bundle planning: the same per-service placement
+// question as PlanBundle, answered for a degraded uplink. Each
+// cloud-placed candidate pays the expected retry/fallback tax of the
+// link, so a service whose offload advantage is slimmer than the tax
+// flips back to edge placement — availability constraints change
+// orchestration decisions, not just their cost.
+
+package services
+
+import (
+	"fmt"
+
+	"beesim/internal/core"
+	"beesim/internal/faults"
+	"beesim/internal/units"
+)
+
+// DegradedLink describes the uplink quality a placement decision must
+// survive: the per-attempt delivery probability and the retry budget
+// that wraps it.
+type DegradedLink struct {
+	// Availability is the probability that one send attempt succeeds.
+	Availability float64
+	// Retry is the policy wrapped around each upload.
+	Retry faults.RetryPolicy
+}
+
+// Validate rejects out-of-range availabilities and invalid policies.
+func (dl DegradedLink) Validate() error {
+	if !(dl.Availability >= 0 && dl.Availability <= 1) {
+		return fmt.Errorf("services: availability %g outside [0, 1]", dl.Availability)
+	}
+	return dl.Retry.Validate()
+}
+
+// Tax returns the expected extra edge energy per cycle for a
+// cloud-placed service with the given one-attempt upload cost and
+// local-inference fallback cost.
+func (dl DegradedLink) Tax(upload, fallback units.Joules) units.Joules {
+	return units.Joules(dl.Retry.RetryTax(dl.Availability, float64(upload), float64(fallback)))
+}
+
+// PlanBundleDegraded decides placements like PlanBundle, but under a
+// degraded uplink: every cloud-placement candidate is evaluated with
+// its cycle cost raised by the link's expected retry tax (extra
+// attempts re-paying the upload, undelivered cycles paying the local
+// fallback). At Availability = 1 the tax vanishes and the plan equals
+// PlanBundle's exactly.
+func PlanBundleDegraded(b Bundle, n int, spec core.ServerSpec, l core.Losses, dl DegradedLink) (PlacementPlan, error) {
+	if err := dl.Validate(); err != nil {
+		return PlacementPlan{}, err
+	}
+	return planBundle(b, n, spec, l, &dl)
+}

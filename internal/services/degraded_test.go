@@ -1,0 +1,107 @@
+package services
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"beesim/internal/core"
+	"beesim/internal/faults"
+	"beesim/internal/routine"
+)
+
+func perfectLink() DegradedLink {
+	return DegradedLink{Availability: 1, Retry: faults.DefaultRetryPolicy()}
+}
+
+func TestDegradedLinkValidate(t *testing.T) {
+	if err := perfectLink().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []DegradedLink{
+		{Availability: -0.1, Retry: faults.DefaultRetryPolicy()},
+		{Availability: 1.1, Retry: faults.DefaultRetryPolicy()},
+		{Availability: 0.5}, // zero retry policy is invalid
+	}
+	for i, dl := range bad {
+		if err := dl.Validate(); err == nil {
+			t.Errorf("bad link %d accepted: %+v", i, dl)
+		}
+	}
+}
+
+// TestPlanBundleDegradedPerfectLinkMatchesPlain: at availability 1 the
+// retry tax vanishes and the degraded planner reproduces PlanBundle
+// exactly.
+func TestPlanBundleDegradedPerfectLinkMatchesPlain(t *testing.T) {
+	b := Bundle{
+		Kinds:  []Kind{QueenDetection, PollenDetection, BeeCounting, SwarmPrediction},
+		Period: 30 * time.Minute,
+	}
+	for _, n := range []int{5, 400, 3000} {
+		plain, err := PlanBundle(b, n, core.DefaultServer(35), core.Losses{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		degraded, err := PlanBundleDegraded(b, n, core.DefaultServer(35), core.Losses{}, perfectLink())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, degraded) {
+			t.Fatalf("n=%d: perfect-link degraded plan diverged:\n%+v\n%+v", n, plain, degraded)
+		}
+	}
+}
+
+// TestPlanBundleDegradedFlipsPlacement: a service the planner offloads
+// on a healthy link flips back to edge when the link is bad enough —
+// availability changes orchestration decisions, not just their cost.
+func TestPlanBundleDegradedFlipsPlacement(t *testing.T) {
+	b := Bundle{
+		Kinds:  []Kind{QueenDetection, PollenDetection, BeeCounting, SwarmPrediction},
+		Period: 30 * time.Minute,
+	}
+	n := 3000
+	spec := core.DefaultServer(35)
+	healthy, err := PlanBundleDegraded(b, n, spec, core.Losses{}, perfectLink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Decisions[BeeCounting] != routine.EdgeCloud {
+		t.Fatalf("healthy link does not offload bee counting: %+v", healthy.Decisions)
+	}
+	lossy := DegradedLink{Availability: 0.05, Retry: faults.DefaultRetryPolicy()}
+	degraded, err := PlanBundleDegraded(b, n, spec, core.Losses{}, lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := false
+	for k, placement := range healthy.Decisions {
+		if placement == routine.EdgeCloud && degraded.Decisions[k] == routine.EdgeOnly {
+			flipped = true
+		}
+		if placement == routine.EdgeOnly && degraded.Decisions[k] == routine.EdgeCloud {
+			t.Fatalf("%v moved TO the cloud as the link degraded", k)
+		}
+	}
+	if !flipped {
+		t.Fatalf("no placement flipped to edge at 5%% availability:\nhealthy: %+v\ndegraded: %+v",
+			healthy.Decisions, degraded.Decisions)
+	}
+}
+
+// TestDegradedTaxMonotone: a worse link never lowers the planning tax.
+func TestDegradedTaxMonotone(t *testing.T) {
+	retry := faults.DefaultRetryPolicy()
+	var prev float64 = -1
+	for _, a := range []float64{1, 0.8, 0.6, 0.4, 0.2, 0} {
+		tax := float64(DegradedLink{Availability: a, Retry: retry}.Tax(100, 200))
+		if tax < prev {
+			t.Fatalf("tax fell from %g to %g as availability dropped to %g", prev, tax, a)
+		}
+		prev = tax
+	}
+	if zero := (DegradedLink{Availability: 1, Retry: retry}).Tax(100, 200); zero != 0 {
+		t.Fatalf("perfect link taxed %v", zero)
+	}
+}
