@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench verify bench-baseline smoke chaos
+.PHONY: all build test vet lint race bench verify bench-baseline bench-diff smoke chaos
 
 all: verify
 
@@ -35,7 +35,7 @@ race:
 		./internal/obs/... ./internal/store/... \
 		./internal/swarm/... ./internal/experiments/... \
 		./internal/parallel/... ./internal/optimizer/... \
-		./internal/dsp/... ./internal/faults/...
+		./internal/dsp/... ./internal/faults/... ./internal/slo/...
 
 # End-to-end smoke of the -workers plumbing: a multi-worker scenario
 # run must complete and pass its own conservation audit.
@@ -50,9 +50,10 @@ chaos:
 	$(GO) test -run 'Chaos' ./internal/faults/ .
 	$(GO) test -run xxx -fuzz 'FuzzFaultPlanJSON' -fuzztime 10s ./internal/faults/
 	$(GO) test -run xxx -fuzz 'FuzzRetryPolicy' -fuzztime 10s ./internal/faults/
+	$(GO) test -run xxx -fuzz 'FuzzSLOSpecJSON' -fuzztime 10s ./internal/slo/
 
 # The tier-1 gate: what CI and pre-commit runs.
-verify: build vet lint test race chaos smoke
+verify: build vet lint test race chaos smoke bench-diff
 
 # Benchmarks double as the reproduction report (paper figures as custom
 # metrics) and as the observability-overhead check (BenchmarkDESLoop*).
@@ -74,3 +75,22 @@ bench-baseline:
 	$(GO) test -json -run xxx -benchmem -count 3 \
 		-bench 'BenchmarkSweep(Serial|Parallel)$$|BenchmarkMelSpectrogram(Cold|Cached)$$|BenchmarkOptimizeParallel|BenchmarkCampaignParallel' \
 		-benchtime 10x . > BENCH_parallel.json
+
+# Perf regression gate: re-run the baseline benchmark sets in smoke
+# mode (short -benchtime keeps verify fast, -count 3 lets benchdiff
+# take the min and shed scheduler noise) and diff against the
+# committed baselines with cmd/benchdiff. The smoke ns/op threshold is
+# generous (-ns-frac 0.75) because smoke runs are noisy; a real
+# regression is usually 2x+. allocs/op stays tight — it is
+# deterministic. See docs/PERFORMANCE.md for the methodology.
+bench-diff:
+	@tmp=$$(mktemp -t beesim-bench-XXXXXX.json); \
+	status=1; \
+	{ $(GO) test -json -run xxx -bench 'BenchmarkDESLoop' -benchtime 300x -count 3 . > $$tmp && \
+	  $(GO) test -json -run xxx -bench 'BenchmarkLedger' -benchmem -count 3 ./internal/ledger/ >> $$tmp && \
+	  $(GO) test -json -run xxx -benchmem -count 3 \
+		-bench 'BenchmarkSweep(Serial|Parallel)$$|BenchmarkMelSpectrogram(Cold|Cached)$$|BenchmarkOptimizeParallel|BenchmarkCampaignParallel' \
+		-benchtime 10x . >> $$tmp && \
+	  $(GO) run ./cmd/benchdiff -ns-frac 0.75 \
+		-baseline BENCH_obs.json -baseline BENCH_parallel.json $$tmp; } && status=0; \
+	rm -f $$tmp; exit $$status

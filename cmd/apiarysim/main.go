@@ -50,6 +50,7 @@ import (
 	"beesim/internal/prof"
 	"beesim/internal/report"
 	"beesim/internal/routine"
+	"beesim/internal/slo"
 	"beesim/internal/units"
 )
 
@@ -341,6 +342,7 @@ func avail(args []string) error {
 	amax := fs.Float64("amax", 1.0, "highest link availability")
 	points := fs.Int("points", 11, "availability grid points (ends inclusive)")
 	faultsPath := fs.String("faults", "", "fault plan JSON supplying the seed and retry policy")
+	sloPath := fs.String("slo", "", "SLO spec JSON evaluated per availability point (exit nonzero on breach)")
 	csvPath := fs.String("csv", "", "write the availability series to this CSV file")
 	metrics := fs.Bool("metrics", false, "print the sweep's metrics snapshot")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
@@ -370,39 +372,81 @@ func avail(args []string) error {
 		if *ledgerPath != "" {
 			cfg.Ledger = ledger.New()
 		}
+		var spec slo.Spec
+		if *sloPath != "" {
+			if spec, err = slo.LoadSpec(*sloPath); err != nil {
+				return err
+			}
+		}
 		pts, err := experiments.AvailabilitySweep(cfg)
 		if err != nil {
 			return err
 		}
+		samples := cfg.UploadSamples
+		if samples <= 0 {
+			samples = experiments.DefaultUploadSamples
+		}
 
 		fmt.Printf("availability sweep: %d-%d clients, cap %d, %d attempts max\n\n",
 			cfg.From, cfg.To, *maxPar, cfg.Retry.MaxAttempts)
-		t := report.NewTable("", "Availability", "Delivery", "E[attempts]",
-			"First crossover", "Edge J/client", "Edge+cloud J/client")
+		cols := []string{"Availability", "Delivery", "E[attempts]",
+			"First crossover", "Edge J/client", "Edge+cloud J/client",
+			"Upload p50", "Upload p99"}
+		if *sloPath != "" {
+			cols = append(cols, "SLO", "Max burn")
+		}
+		t := report.NewTable("", cols...)
+		breaches := 0
 		for _, p := range pts {
 			cross := "never"
 			if p.FirstCrossover > 0 {
 				cross = fmt.Sprintf("%d clients", p.FirstCrossover)
 			}
-			t.MustAddRow(
+			row := []string{
 				fmt.Sprintf("%.2f", p.Availability),
 				fmt.Sprintf("%.3f", p.DeliveryProb),
 				fmt.Sprintf("%.2f", p.ExpectedAttempts),
 				cross,
 				fmt.Sprintf("%.1f", float64(p.EdgeJClient)),
-				fmt.Sprintf("%.1f", float64(p.CloudJClient)))
+				fmt.Sprintf("%.1f", float64(p.CloudJClient)),
+				fmt.Sprintf("%.1fs", p.UploadP50S),
+				fmt.Sprintf("%.1fs", p.UploadP99S),
+			}
+			if *sloPath != "" {
+				rep, err := slo.Evaluate(spec, slo.Input{
+					Snapshot: p.Obs,
+					Window:   time.Duration(samples) * experiments.Period,
+				})
+				if err != nil {
+					return err
+				}
+				verdict := "pass"
+				if !rep.Pass() {
+					verdict = fmt.Sprintf("FAIL (%d)", rep.Breaches())
+					breaches++
+				}
+				maxBurn := 0.0
+				for _, res := range rep.Results {
+					if res.Burn > maxBurn {
+						maxBurn = res.Burn
+					}
+				}
+				row = append(row, verdict, fmt.Sprintf("%.3f", maxBurn))
+			}
+			t.MustAddRow(row...)
 		}
 		if err := t.Render(os.Stdout); err != nil {
 			return err
 		}
 
 		if *csvPath != "" {
-			edge, cloud, crossover, delivered, err := experiments.AvailabilitySeries(pts)
+			edge, cloud, crossover, delivered, uploadP50, uploadP99, err := experiments.AvailabilitySeries(pts)
 			if err != nil {
 				return err
 			}
 			err = writeFile(*csvPath, func(f *os.File) error {
-				return report.WriteSeriesCSV(f, "availability", edge, cloud, crossover, delivered)
+				return report.WriteSeriesCSV(f, "availability",
+					edge, cloud, crossover, delivered, uploadP50, uploadP99)
 			})
 			if err != nil {
 				return err
@@ -439,6 +483,9 @@ func avail(args []string) error {
 			if err := cfg.Metrics.Snapshot().WriteText(os.Stdout); err != nil {
 				return err
 			}
+		}
+		if *sloPath != "" && breaches > 0 {
+			return fmt.Errorf("SLO breached at %d of %d availability points", breaches, len(pts))
 		}
 		return nil
 	})

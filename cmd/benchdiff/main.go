@@ -1,0 +1,84 @@
+// Command benchdiff compares a fresh `go test -json` benchmark run
+// against one or more committed baselines and exits nonzero on
+// regression. It is the engine behind `make bench-diff`:
+//
+//	go test -json -run xxx -bench ... . > current.json
+//	benchdiff -baseline BENCH_obs.json -baseline BENCH_parallel.json current.json
+//
+// Every baseline benchmark must appear in the current run and stay
+// within the ns/op and allocs/op thresholds; benchmarks only present
+// in the current run are ignored until the next `make bench-baseline`.
+// Pass "-" as the current file to read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"beesim/internal/benchdiff"
+)
+
+// baselines collects repeated -baseline flags.
+type baselines []string
+
+func (b *baselines) String() string { return fmt.Sprint([]string(*b)) }
+
+func (b *baselines) Set(v string) error {
+	*b = append(*b, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	var basePaths baselines
+	fs.Var(&basePaths, "baseline", "baseline go test -json file (repeatable)")
+	def := benchdiff.DefaultThresholds()
+	nsFrac := fs.Float64("ns-frac", def.NsFrac, "allowed fractional ns/op growth")
+	allocFrac := fs.Float64("alloc-frac", def.AllocFrac, "allowed fractional allocs/op growth")
+	allocSlack := fs.Float64("alloc-slack", def.AllocSlack, "absolute allocs/op slack on top of -alloc-frac")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(basePaths) == 0 || fs.NArg() != 1 {
+		return fmt.Errorf("usage: benchdiff -baseline base.json [-baseline more.json] current.json")
+	}
+
+	baseline := map[string]benchdiff.Result{}
+	for _, path := range basePaths {
+		res, err := benchdiff.ParseFile(path)
+		if err != nil {
+			return err
+		}
+		benchdiff.MergeInto(baseline, res)
+	}
+	var current map[string]benchdiff.Result
+	var err error
+	if cur := fs.Arg(0); cur == "-" {
+		current, err = benchdiff.Parse(os.Stdin)
+	} else {
+		current, err = benchdiff.ParseFile(cur)
+	}
+	if err != nil {
+		return err
+	}
+
+	rep := benchdiff.Compare(baseline, current, benchdiff.Thresholds{
+		NsFrac: *nsFrac, AllocFrac: *allocFrac, AllocSlack: *allocSlack,
+	})
+	if err := rep.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if !rep.Pass() {
+		return fmt.Errorf("%d of %d benchmarks regressed past thresholds", rep.Failures(), len(rep.Rows))
+	}
+	fmt.Printf("all %d benchmarks within thresholds\n", len(rep.Rows))
+	return nil
+}

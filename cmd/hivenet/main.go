@@ -28,6 +28,7 @@ import (
 	"beesim/internal/hivenet"
 	"beesim/internal/ledger"
 	"beesim/internal/obs"
+	"beesim/internal/slo"
 	"beesim/internal/routine"
 )
 
@@ -69,6 +70,7 @@ func serve(args []string) error {
 	archive := fs.String("archive", "", "persist reports and verdicts to this file")
 	withObs := fs.Bool("obs", false, "keep a metrics registry and expose /metrics on the dashboard")
 	withLedger := fs.Bool("ledger", false, "keep an energy ledger and expose /api/ledger on the dashboard")
+	sloPath := fs.String("slo", "", "SLO spec JSON; expose live evaluation at /api/slo (implies -obs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,7 +80,14 @@ func serve(args []string) error {
 	cfg.TrainCorpus = *corpus
 	cfg.ArchivePath = *archive
 	cfg.Logf = log.Printf
-	if *withObs {
+	var spec slo.Spec
+	if *sloPath != "" {
+		var err error
+		if spec, err = slo.LoadSpec(*sloPath); err != nil {
+			return err
+		}
+	}
+	if *withObs || *sloPath != "" {
 		cfg.Metrics = obs.NewRegistry()
 	}
 	if *withLedger {
@@ -91,9 +100,13 @@ func serve(args []string) error {
 	log.Printf("cloud service on %s (detector accuracy %.1f%%, %d slots x %d clients)",
 		s.Addr(), 100*s.DetectorAccuracy(), *slots, *maxPar)
 	if *httpAddr != "" {
+		dash := hivenet.NewDashboard(s)
+		if *sloPath != "" {
+			dash.SetSLO(spec)
+		}
 		go func() {
 			log.Printf("dashboard on http://%s/", *httpAddr)
-			if err := http.ListenAndServe(*httpAddr, hivenet.NewDashboard(s)); err != nil {
+			if err := http.ListenAndServe(*httpAddr, dash); err != nil {
 				log.Printf("dashboard: %v", err)
 			}
 		}()

@@ -13,6 +13,13 @@
 // The breakdown tables mirror the shape of the paper's Tables I/II: one
 // row per (device, component, task, direction), with total joules, the
 // covered duration, and the entry count.
+//
+// The slo subcommand evaluates a declarative SLO spec offline against
+// a metrics snapshot (JSON from /api/metrics or obs.Snapshot) and/or a
+// ledger file, and exits nonzero on breach:
+//
+//	hivereport slo -spec examples/slo_upload.json -metrics snap.json
+//	hivereport slo -spec hive.json -ledger run.jsonl -window 48h
 package main
 
 import (
@@ -23,7 +30,9 @@ import (
 	"os"
 
 	"beesim/internal/ledger"
+	"beesim/internal/obs"
 	"beesim/internal/report"
+	"beesim/internal/slo"
 )
 
 func main() {
@@ -34,6 +43,11 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	// Subcommand dispatch before flag parsing keeps the original
+	// flags-only invocations (`hivereport -diff a b`) working unchanged.
+	if len(args) > 0 && args[0] == "slo" {
+		return runSLO(args[1:], out)
+	}
 	fs := flag.NewFlagSet("hivereport", flag.ContinueOnError)
 	diff := fs.Bool("diff", false, "compare two ledger files (A B): where did the joules move?")
 	hive := fs.String("hive", "", "limit breakdown tables to one hive id")
@@ -85,6 +99,71 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "wrote %s\n\n", *csvPath)
 	}
 	return printAudit(out, lg, ledger.Tolerance{AbsJ: *tolAbs, Rel: *tolRel})
+}
+
+// runSLO is the offline SLO gate: spec + snapshot and/or ledger in, a
+// pass/fail report out, nonzero exit on breach so it can sit directly
+// in a CI pipeline after a simulation run.
+func runSLO(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hivereport slo", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "SLO spec JSON file (required)")
+	metricsPath := fs.String("metrics", "", "metrics snapshot JSON (from /api/metrics or obs.Snapshot)")
+	ledgerPath := fs.String("ledger", "", "energy ledger JSONL file (for energy objectives)")
+	window := fs.Duration("window", 0, "virtual-time window the run covered (needed by budget_wh_per_day)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: hivereport slo -spec spec.json [-metrics snap.json] [-ledger run.jsonl] [-window 48h] [-json]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		fs.Usage()
+		return errors.New("slo needs -spec spec.json")
+	}
+	if *metricsPath == "" && *ledgerPath == "" {
+		fs.Usage()
+		return errors.New("slo needs -metrics and/or -ledger to evaluate against")
+	}
+	spec, err := slo.LoadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	in := slo.Input{Window: *window}
+	if *metricsPath != "" {
+		data, err := os.ReadFile(*metricsPath)
+		if err != nil {
+			return err
+		}
+		if in.Snapshot, err = obs.ParseSnapshot(data); err != nil {
+			return fmt.Errorf("%s: %w", *metricsPath, err)
+		}
+	}
+	if *ledgerPath != "" {
+		lg, err := loadLedger(*ledgerPath)
+		if err != nil {
+			return err
+		}
+		in.Entries = lg.Entries()
+	}
+	rep, err := slo.Evaluate(spec, in)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		err = rep.WriteJSON(out)
+	} else {
+		err = rep.WriteText(out)
+	}
+	if err != nil {
+		return err
+	}
+	if !rep.Pass() {
+		return fmt.Errorf("SLO %q breached: %d of %d objectives failing",
+			spec.Name, rep.Breaches(), len(rep.Results))
+	}
+	return nil
 }
 
 func loadLedger(path string) (lg *ledger.Ledger, err error) {

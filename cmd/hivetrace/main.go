@@ -10,7 +10,7 @@
 //	          [-trace out.json] [-trace-events] [-metrics]
 //	          [-metrics-csv out.csv] [-ledger out.jsonl] [-flight N]
 //	          [-empty] [-no-brownout] [-faults plan.json]
-//	          [-replicas N] [-workers N]
+//	          [-slo spec.json] [-replicas N] [-workers N]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -faults the run injects the deterministic fault plan — link
@@ -48,6 +48,7 @@ import (
 	"beesim/internal/parallel"
 	"beesim/internal/prof"
 	"beesim/internal/report"
+	"beesim/internal/slo"
 	"beesim/internal/solar"
 	"beesim/internal/stats"
 	"beesim/internal/timeseries"
@@ -88,6 +89,7 @@ func run(args []string) (err error) {
 	empty := fs.Bool("empty", false, "simulate an empty hive (no colony yet)")
 	noBrownout := fs.Bool("no-brownout", false, "disable the night bus brownout")
 	faultsPath := fs.String("faults", "", "inject the deterministic fault plan from this JSON file")
+	sloPath := fs.String("slo", "", "evaluate the SLO spec from this JSON file after the run (exit nonzero on breach)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	replicas := fs.Int("replicas", 0, "run an N-replica ensemble (seeds derived per replica) instead of a single trace")
 	workers := fs.Int("workers", 0, "worker goroutines for parallel evaluation (0 = all CPUs, 1 = serial)")
@@ -129,13 +131,25 @@ func run(args []string) (err error) {
 		}
 		cfg.Faults = &plan
 	}
+	var spec slo.Spec
+	if *sloPath != "" {
+		if *flight > 0 {
+			return usageError("-slo needs the full ledger; it cannot be combined with the -flight ring")
+		}
+		spec, err = slo.LoadSpec(*sloPath)
+		if err != nil {
+			return err
+		}
+	}
 	if *replicas > 0 {
-		if *metrics || *metricsCSV != "" || *tracePath != "" || *ledgerPath != "" || *csvPath != "" || *flight > 0 {
-			return usageError("-replicas is a summary ensemble; it cannot be combined with -csv, -trace, -metrics, -metrics-csv, -ledger or -flight")
+		if *metrics || *metricsCSV != "" || *tracePath != "" || *ledgerPath != "" || *csvPath != "" || *flight > 0 || *sloPath != "" {
+			return usageError("-replicas is a summary ensemble; it cannot be combined with -csv, -trace, -metrics, -metrics-csv, -ledger, -flight or -slo")
 		}
 		return runEnsemble(cfg, *replicas)
 	}
-	if *metrics || *metricsCSV != "" {
+	if *metrics || *metricsCSV != "" || *sloPath != "" {
+		// -slo needs the metrics registry armed even when the snapshot
+		// is not otherwise printed: latency objectives read histograms.
 		cfg.Metrics = obs.NewRegistry()
 	}
 	if *tracePath != "" {
@@ -150,7 +164,9 @@ func run(args []string) (err error) {
 		}
 		lg.AutoDump(os.Stderr)
 		cfg.Ledger = lg
-	case *ledgerPath != "":
+	case *ledgerPath != "" || *sloPath != "":
+		// -slo also needs the full ledger: energy objectives sum its
+		// consume entries.
 		cfg.Ledger = ledger.New()
 	}
 
@@ -265,6 +281,25 @@ func run(args []string) (err error) {
 		fmt.Printf("\nmetrics:\n")
 		if err := cfg.Metrics.Snapshot().WriteText(os.Stdout); err != nil {
 			return err
+		}
+	}
+
+	if *sloPath != "" {
+		rep, err := slo.Evaluate(spec, slo.Input{
+			Snapshot: cfg.Metrics.Snapshot(),
+			Entries:  cfg.Ledger.Entries(),
+			Window:   time.Duration(cfg.Days) * 24 * time.Hour,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nslo check (%s):\n", *sloPath)
+		if err := rep.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if !rep.Pass() {
+			return fmt.Errorf("SLO %q breached: %d of %d objectives failing",
+				spec.Name, rep.Breaches(), len(rep.Results))
 		}
 	}
 	return nil

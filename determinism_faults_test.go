@@ -51,12 +51,12 @@ func renderAvailabilitySweep(t *testing.T, workers int) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	edge, cloud, crossover, delivered, err := experiments.AvailabilitySeries(pts)
+	edge, cloud, crossover, delivered, uploadP50, uploadP99, err := experiments.AvailabilitySeries(pts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := report.WriteSeriesCSV(&buf, "availability", edge, cloud, crossover, delivered); err != nil {
+	if err := report.WriteSeriesCSV(&buf, "availability", edge, cloud, crossover, delivered, uploadP50, uploadP99); err != nil {
 		t.Fatal(err)
 	}
 	if err := cfg.Ledger.WriteJSONL(&buf); err != nil {

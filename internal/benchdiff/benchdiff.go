@@ -1,0 +1,323 @@
+// Package benchdiff turns the checked-in benchmark baselines into a
+// regression gate: it parses `go test -json` streams (the format of
+// BENCH_obs.json / BENCH_parallel.json), reduces each benchmark to its
+// best observation across -count runs, and compares a fresh run
+// against the baseline with fractional thresholds on ns/op and
+// allocs/op.
+//
+// Timing comparisons take the minimum across runs on both sides — the
+// minimum is the least noisy location statistic for benchmark
+// latencies (noise only ever adds time) — and the ns threshold is
+// deliberately generous so a short smoke re-run (`make bench-diff`)
+// does not flap, while a real regression (an accidental O(n) scan, a
+// new allocation per event) still trips it. Allocation counts are
+// deterministic, so their threshold is tight.
+package benchdiff
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// Result is one benchmark reduced across its -count runs: minimum
+// ns/op and allocs/op, and the number of runs seen.
+type Result struct {
+	Name        string
+	NsPerOp     float64
+	AllocsPerOp float64
+	BytesPerOp  float64
+	HasAllocs   bool // true when -benchmem columns were present
+	Runs        int
+}
+
+// event is the subset of test2json's envelope we need. Output text is
+// fragmented across events mid-line, so parsing concatenates all
+// Output fields per package before splitting into lines.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// Parse reads a `go test -json` stream and returns every benchmark
+// result in it, keyed by name (GOMAXPROCS suffix stripped), reduced to
+// the minimum across repeated runs.
+func Parse(r io.Reader) (map[string]Result, error) {
+	chunks := map[string][]string{}
+	var pkgs []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("benchdiff: not a go test -json stream: %w", err)
+		}
+		if ev.Action != "output" || ev.Output == "" {
+			continue
+		}
+		if _, seen := chunks[ev.Package]; !seen {
+			pkgs = append(pkgs, ev.Package)
+		}
+		chunks[ev.Package] = append(chunks[ev.Package], ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchdiff: %w", err)
+	}
+	out := map[string]Result{}
+	for _, pkg := range pkgs {
+		for _, line := range strings.Split(strings.Join(chunks[pkg], ""), "\n") {
+			res, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			merge(out, res)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark results in input")
+	}
+	return out, nil
+}
+
+// ParseFile is Parse over a file on disk.
+func ParseFile(path string) (map[string]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchdiff: %w", err)
+	}
+	defer f.Close()
+	res, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return res, nil
+}
+
+// MergeInto folds src results into dst, reducing duplicates to the
+// minimum — used to stack several baseline files into one map.
+func MergeInto(dst, src map[string]Result) {
+	for _, r := range src {
+		merge(dst, r)
+	}
+}
+
+func merge(m map[string]Result, r Result) {
+	prev, seen := m[r.Name]
+	if !seen {
+		m[r.Name] = r
+		return
+	}
+	prev.Runs += r.Runs
+	prev.NsPerOp = math.Min(prev.NsPerOp, r.NsPerOp)
+	if r.HasAllocs {
+		if prev.HasAllocs {
+			prev.AllocsPerOp = math.Min(prev.AllocsPerOp, r.AllocsPerOp)
+			prev.BytesPerOp = math.Min(prev.BytesPerOp, r.BytesPerOp)
+		} else {
+			prev.AllocsPerOp, prev.BytesPerOp, prev.HasAllocs = r.AllocsPerOp, r.BytesPerOp, true
+		}
+	}
+	m[r.Name] = prev
+}
+
+// parseBenchLine parses one testing.B result line:
+//
+//	BenchmarkName-8   3000   93546 ns/op   765 B/op   0 allocs/op
+//
+// Custom b.ReportMetric units are tolerated and ignored. Lines that
+// are not benchmark results (RUN markers, name announcements) return
+// ok=false.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: stripProcSuffix(fields[0]), Runs: 1, NsPerOp: math.NaN()}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+			res.HasAllocs = true
+		case "B/op":
+			res.BytesPerOp = v
+		}
+	}
+	if math.IsNaN(res.NsPerOp) {
+		return Result{}, false
+	}
+	return res, true
+}
+
+// stripProcSuffix removes the trailing -GOMAXPROCS from a benchmark
+// name so baselines and re-runs compare across core counts.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// Thresholds bound the allowed growth from baseline to current.
+type Thresholds struct {
+	// NsFrac is the allowed fractional ns/op growth: current may be up
+	// to baseline*(1+NsFrac). Generous by default because smoke re-runs
+	// use short -benchtime.
+	NsFrac float64
+	// AllocFrac is the allowed fractional allocs/op growth.
+	AllocFrac float64
+	// AllocSlack is an absolute allocs/op allowance added on top of
+	// AllocFrac, so near-zero baselines don't fail on a single
+	// scheduling-dependent allocation.
+	AllocSlack float64
+}
+
+// DefaultThresholds: 50% timing slack (short smoke runs are noisy; a
+// real regression is usually 2x+), 15% + 4 allocs of allocation slack.
+func DefaultThresholds() Thresholds {
+	return Thresholds{NsFrac: 0.50, AllocFrac: 0.15, AllocSlack: 4}
+}
+
+// Row is one benchmark's comparison.
+type Row struct {
+	Name       string
+	BaseNs     float64
+	CurNs      float64
+	NsRatio    float64 // CurNs / BaseNs
+	BaseAllocs float64
+	CurAllocs  float64
+	HasAllocs  bool // both sides reported allocs
+	Missing    bool // in baseline, absent from current run
+	Fail       bool
+	Why        string
+}
+
+// Report is a full comparison, rows sorted by benchmark name.
+type Report struct {
+	Thresholds Thresholds
+	Rows       []Row
+}
+
+// Pass reports whether no row failed.
+func (r Report) Pass() bool {
+	for _, row := range r.Rows {
+		if row.Fail {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures counts failing rows.
+func (r Report) Failures() int {
+	n := 0
+	for _, row := range r.Rows {
+		if row.Fail {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteText writes an aligned ok/FAIL line per benchmark.
+func (r Report) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, row := range r.Rows {
+		verdict := "ok"
+		if row.Fail {
+			verdict = "FAIL"
+		}
+		if row.Missing {
+			if _, err := fmt.Fprintf(tw, "%s\t%s\tmissing from current run\n", verdict, row.Name); err != nil {
+				return err
+			}
+			continue
+		}
+		allocs := ""
+		if row.HasAllocs {
+			allocs = fmt.Sprintf("\tallocs %g -> %g", row.BaseAllocs, row.CurAllocs)
+		}
+		if _, err := fmt.Fprintf(tw, "%s\t%s\tns/op %.6g -> %.6g (x%.2f)%s\t%s\n",
+			verdict, row.Name, row.BaseNs, row.CurNs, row.NsRatio, allocs, row.Why); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Compare checks every baseline benchmark against the current run.
+// Baseline entries missing from the current run fail (a renamed or
+// dropped benchmark means the baseline is stale — regenerate it);
+// current-run benchmarks absent from the baseline are ignored (new
+// benchmarks are fine until the next `make bench-baseline`).
+func Compare(baseline, current map[string]Result, th Thresholds) Report {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rep := Report{Thresholds: th}
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		row := Row{Name: name, BaseNs: base.NsPerOp, BaseAllocs: base.AllocsPerOp}
+		if !ok {
+			row.Missing, row.Fail = true, true
+			row.Why = "regenerate the baseline if the benchmark was renamed or removed"
+			rep.Rows = append(rep.Rows, row)
+			continue
+		}
+		row.CurNs = cur.NsPerOp
+		if base.NsPerOp > 0 {
+			row.NsRatio = cur.NsPerOp / base.NsPerOp
+		}
+		if row.NsRatio > 1+th.NsFrac {
+			row.Fail = true
+			row.Why = fmt.Sprintf("ns/op regressed %.0f%% (limit %.0f%%)",
+				(row.NsRatio-1)*100, th.NsFrac*100)
+		}
+		if base.HasAllocs && cur.HasAllocs {
+			row.HasAllocs = true
+			row.CurAllocs = cur.AllocsPerOp
+			limit := base.AllocsPerOp*(1+th.AllocFrac) + th.AllocSlack
+			if cur.AllocsPerOp > limit {
+				row.Fail = true
+				why := fmt.Sprintf("allocs/op regressed %g -> %g (limit %.4g)",
+					base.AllocsPerOp, cur.AllocsPerOp, limit)
+				if row.Why != "" {
+					row.Why += "; " + why
+				} else {
+					row.Why = why
+				}
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}

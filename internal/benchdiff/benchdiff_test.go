@@ -1,0 +1,165 @@
+package benchdiff
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// stream builds a minimal go test -json stream. The benchmark result
+// line is deliberately split mid-line across two output events, the
+// way test2json actually emits it (name announce flushed before the
+// timing columns arrive).
+func stream(lines ...string) string {
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"beesim"}` + "\n")
+	for _, l := range lines {
+		b.WriteString(`{"Action":"output","Package":"beesim","Output":"` + l + `"}` + "\n")
+	}
+	return b.String()
+}
+
+func TestParseFragmentedAndSuffixed(t *testing.T) {
+	in := stream(
+		`goos: linux\n`,
+		`BenchmarkFast\n`, // announce line, not a result
+		`BenchmarkFast-8         \t`,
+		`    3000\t     100 ns/op\n`,
+		`BenchmarkFast-8         \t    3000\t     90 ns/op\n`,
+		`BenchmarkAlloc-8 \t 1000 \t 200 ns/op \t 64 B/op \t 3 allocs/op\n`,
+	)
+	got, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, ok := got["BenchmarkFast"]
+	if !ok {
+		t.Fatalf("suffix not stripped or fragments not joined: %v", got)
+	}
+	if fast.NsPerOp != 90 || fast.Runs != 2 || fast.HasAllocs {
+		t.Fatalf("fast = %+v, want min ns 90 over 2 runs, no allocs", fast)
+	}
+	alloc := got["BenchmarkAlloc"]
+	if alloc.NsPerOp != 200 || !alloc.HasAllocs || alloc.AllocsPerOp != 3 || alloc.BytesPerOp != 64 {
+		t.Fatalf("alloc = %+v", alloc)
+	}
+}
+
+func TestParseRejectsNonJSONAndEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkRaw 10 5 ns/op\n")); err == nil {
+		t.Fatal("raw (non -json) bench output must be rejected")
+	}
+	if _, err := Parse(strings.NewReader(stream(`goos: linux\n`))); err == nil {
+		t.Fatal("stream without benchmark results must be rejected")
+	}
+}
+
+func TestCompareTiming(t *testing.T) {
+	th := Thresholds{NsFrac: 0.5, AllocFrac: 0.15, AllocSlack: 0}
+	base := map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 100, Runs: 3}}
+
+	ok := Compare(base, map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 149}}, th)
+	if !ok.Pass() {
+		t.Fatalf("49%% growth within a 50%% threshold must pass: %+v", ok.Rows)
+	}
+	slow := Compare(base, map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 151}}, th)
+	if slow.Pass() || slow.Failures() != 1 {
+		t.Fatalf("51%% growth must fail: %+v", slow.Rows)
+	}
+}
+
+func TestCompareAllocs(t *testing.T) {
+	th := Thresholds{NsFrac: 10, AllocFrac: 0.15, AllocSlack: 2}
+	base := map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 100, AllocsPerOp: 10, HasAllocs: true}}
+	cur := func(allocs float64) map[string]Result {
+		return map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 100, AllocsPerOp: allocs, HasAllocs: true}}
+	}
+	// limit = 10*1.15 + 2 = 13.5
+	if rep := Compare(base, cur(13), th); !rep.Pass() {
+		t.Fatalf("13 allocs under limit 13.5 must pass: %+v", rep.Rows)
+	}
+	if rep := Compare(base, cur(14), th); rep.Pass() {
+		t.Fatal("14 allocs over limit 13.5 must fail")
+	}
+	// A baseline without -benchmem columns never alloc-fails.
+	noMem := map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 100}}
+	if rep := Compare(noMem, cur(1e6), th); !rep.Pass() {
+		t.Fatal("alloc check requires allocs on both sides")
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 1},
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: 1},
+	}
+	cur := map[string]Result{"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 1}}
+	rep := Compare(base, cur, DefaultThresholds())
+	if rep.Pass() || rep.Failures() != 1 {
+		t.Fatalf("missing benchmark must fail exactly once: %+v", rep.Rows)
+	}
+	// Extra current-run benchmarks are ignored.
+	cur["BenchmarkNew"] = Result{Name: "BenchmarkNew", NsPerOp: 1e9}
+	if got := Compare(base, cur, DefaultThresholds()).Failures(); got != 1 {
+		t.Fatalf("extra benchmark must not change failures: %d", got)
+	}
+}
+
+func TestMergeIntoStacksBaselines(t *testing.T) {
+	dst := map[string]Result{"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 100, Runs: 1}}
+	MergeInto(dst, map[string]Result{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 80, Runs: 2},
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: 7, Runs: 1},
+	})
+	if dst["BenchmarkA"].NsPerOp != 80 || dst["BenchmarkA"].Runs != 3 || len(dst) != 2 {
+		t.Fatalf("merge = %+v", dst)
+	}
+}
+
+func TestReportTextDeterministicAndReadable(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: 100},
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 5, HasAllocs: true},
+	}
+	cur := map[string]Result{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 500, AllocsPerOp: 5, HasAllocs: true},
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: 100},
+	}
+	render := func() string {
+		var buf bytes.Buffer
+		if err := Compare(base, cur, DefaultThresholds()).WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render()
+	if first != render() {
+		t.Fatal("report text must be deterministic")
+	}
+	if !strings.Contains(first, "FAIL  BenchmarkA") || !strings.Contains(first, "ok    BenchmarkB") {
+		t.Fatalf("unexpected report:\n%s", first)
+	}
+	// Rows come out name-sorted regardless of map order.
+	if strings.Index(first, "BenchmarkA") > strings.Index(first, "BenchmarkB") {
+		t.Fatalf("rows not sorted:\n%s", first)
+	}
+}
+
+// TestRealBaselinesParse guards the format contract against the files
+// actually checked into the repo root.
+func TestRealBaselinesParse(t *testing.T) {
+	for _, path := range []string{"../../BENCH_obs.json", "../../BENCH_parallel.json"} {
+		res, err := ParseFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(res) == 0 {
+			t.Fatalf("%s: no results", path)
+		}
+		for name, r := range res {
+			if r.NsPerOp <= 0 {
+				t.Fatalf("%s: %s has ns/op %g", path, name, r.NsPerOp)
+			}
+		}
+	}
+}

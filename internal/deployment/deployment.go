@@ -168,6 +168,11 @@ const (
 	MetricRecorderJ     = "deployment_recorder_j_total"
 	MetricMonitorJ      = "deployment_monitor_j_total"
 	MetricRoutineSecs   = "deployment_routine_seconds"
+	// MetricWakeupJ distributes the edge energy of each wake-up routine
+	// (fixed routine work plus radio-busy transmit time), so per-cycle
+	// energy percentiles — joules per detection — are queryable next to
+	// the duration percentiles.
+	MetricWakeupJ = "deployment_wakeup_j"
 )
 
 // Metric names emitted only when Config.Faults is armed, so fault-free
@@ -245,7 +250,8 @@ func Run(cfg Config) (*Trace, error) {
 	mHarvest := cfg.Metrics.Counter(MetricHarvestJ)
 	mRecorder := cfg.Metrics.Counter(MetricRecorderJ)
 	mMonitor := cfg.Metrics.Counter(MetricMonitorJ)
-	hRoutine := cfg.Metrics.Histogram(MetricRoutineSecs, obs.DefaultSecondsBuckets())
+	hRoutine := cfg.Metrics.Histogram(MetricRoutineSecs)
+	hWakeupJ := cfg.Metrics.Histogram(MetricWakeupJ)
 
 	// Fault injection: arm the uplink with retries, prepare the
 	// buffer-and-drain queue, and register the fault counters — all
@@ -389,9 +395,11 @@ func Run(cfg Config) (*Trace, error) {
 			routineDur := fixedDur + transfer.Duration
 			routineUntil = now.Add(routineDur)
 			hRoutine.Observe(routineDur.Seconds())
+			wakeJ := float64(fixedEnergy) + float64(send.Power().Energy(transfer.Duration))
+			hWakeupJ.Observe(wakeJ)
 			cfg.Tracer.Span("wake-up routine", "deployment", obs.TidRoutine, now, routineDur,
 				map[string]any{
-					"joules":         float64(fixedEnergy) + float64(send.Power().Energy(transfer.Duration)),
+					"joules":         wakeJ,
 					"transfer_bytes": int64(transfer.Payload),
 					"transfer_us":    transfer.Duration.Microseconds(),
 				})
@@ -439,9 +447,11 @@ func Run(cfg Config) (*Trace, error) {
 			routineDur := fixedDur + busy
 			routineUntil = now.Add(routineDur)
 			hRoutine.Observe(routineDur.Seconds())
+			wakeJ := float64(fixedEnergy) + float64(send.Power().Energy(busy))
+			hWakeupJ.Observe(wakeJ)
 			cfg.Tracer.Span("wake-up routine", "deployment", obs.TidRoutine, now, routineDur,
 				map[string]any{
-					"joules":    float64(fixedEnergy) + float64(send.Power().Energy(busy)),
+					"joules":    wakeJ,
 					"attempts":  out.Attempts,
 					"delivered": out.Delivered,
 				})

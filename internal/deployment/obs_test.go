@@ -65,7 +65,7 @@ func TestMetricsAgreeWithTrace(t *testing.T) {
 	if got := m.Counter(MetricOutages).Value(); got != float64(tr.Outages) {
 		t.Fatalf("outages counter %v != trace %d", got, tr.Outages)
 	}
-	if got := m.Histogram(MetricRoutineSecs, nil).Count(); got != uint64(tr.Wakeups) {
+	if got := m.Histogram(MetricRoutineSecs).Count(); got != uint64(tr.Wakeups) {
 		t.Fatalf("routine histogram count %d != wakeups %d", got, tr.Wakeups)
 	}
 	// The probe counters accumulate the same joules the trace reports

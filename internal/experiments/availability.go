@@ -17,6 +17,7 @@ import (
 	"beesim/internal/core"
 	"beesim/internal/faults"
 	"beesim/internal/ledger"
+	"beesim/internal/netsim"
 	"beesim/internal/obs"
 	"beesim/internal/parallel"
 	"beesim/internal/power"
@@ -50,6 +51,13 @@ type AvailabilityConfig struct {
 	AvailTo    float64
 	AvailSteps int
 
+	// UploadSamples is how many upload episodes each point replays
+	// through a fault-armed link to measure the latency distribution
+	// (0 selects DefaultUploadSamples). The episodes feed the per-point
+	// netsim upload histograms, so every point carries its own p50/p99
+	// upload latency and delivered fraction.
+	UploadSamples int
+
 	Seed uint64
 	// Workers fans the availability points out; each point's inner
 	// client sweep runs serially, and all side effects are committed in
@@ -74,6 +82,11 @@ const (
 	MetricAvailPoints    = "experiments_availability_points_total"
 	MetricAvailCrossover = "experiments_availability_crossover_clients"
 )
+
+// DefaultUploadSamples is the per-point upload-episode count when the
+// config leaves it zero: a day and a half of 10-minute routines, enough
+// for a stable p99 over 64-attempt retry budgets.
+const DefaultUploadSamples = 216
 
 // DefaultAvailabilityConfig mirrors Figure 7 (100-2000 clients, cap-35
 // servers, no losses) — the regime where the paper's crossover lives —
@@ -167,11 +180,60 @@ type AvailabilityPoint struct {
 	// largest swept fleet.
 	EdgeJClient  units.Joules
 	CloudJClient units.Joules
+	// UploadP50S/UploadP99S are the measured p50/p99 upload latencies
+	// (seconds, virtual time) over the point's replayed episodes; 0 when
+	// no episode was delivered.
+	UploadP50S float64
+	UploadP99S float64
+	// DeliveredFrac is the measured delivered fraction of the replayed
+	// episodes.
+	DeliveredFrac float64
+	// Obs is the point's own metrics snapshot (link, retry and upload
+	// histograms), ready for per-point SLO evaluation.
+	Obs obs.Snapshot
 }
 
 // availEval is one availability point's pure evaluation, pre-commit.
+// The registry rides along so the commit pass can fold every point's
+// histograms into the sweep-level registry in index order.
 type availEval struct {
 	point AvailabilityPoint
+	reg   *obs.Registry
+}
+
+// uploadEpisodes replays n upload episodes through a link armed with a
+// drop probability of 1-avail, observing every episode into reg's
+// netsim histograms. Episodes are spaced one routine period apart so
+// the fault draws (keyed by virtual instant and attempt) decorrelate.
+// Everything is a pure function of (seed, avail, n).
+func uploadEpisodes(reg *obs.Registry, seed uint64, avail float64, retry faults.RetryPolicy, n int) error {
+	linkCfg := netsim.DefaultConfig()
+	linkCfg.Seed = rng.StreamSeed(seed, 1)
+	link, err := netsim.NewLink(linkCfg)
+	if err != nil {
+		return err
+	}
+	drop := 1 - avail
+	if drop < 0 {
+		drop = 0
+	}
+	plan := faults.Plan{
+		Seed: rng.StreamSeed(seed, 2),
+		Link: faults.LinkFaults{DropProb: drop},
+	}
+	epoch := time.Unix(0, 0).UTC()
+	inj, err := faults.NewInjector(plan, epoch)
+	if err != nil {
+		return err
+	}
+	link.Instrument(reg, nil, nil)
+	if err := link.AttachFaults(inj, retry, reg); err != nil {
+		return err
+	}
+	for j := 0; j < n; j++ {
+		link.SendAt(epoch.Add(time.Duration(j)*Period), netsim.RoutinePayload())
+	}
+	return nil
 }
 
 // AvailabilitySweep evaluates the client-range sweep at every point of
@@ -203,7 +265,7 @@ func AvailabilitySweep(cfg AvailabilityConfig) ([]AvailabilityPoint, error) {
 		}
 		m := MilestonesOf(pts)
 		last := pts[len(pts)-1]
-		return availEval{point: AvailabilityPoint{
+		point := AvailabilityPoint{
 			Availability:     a,
 			DeliveryProb:     cfg.Retry.DeliveryProb(a),
 			ExpectedAttempts: cfg.Retry.ExpectedAttempts(a),
@@ -211,7 +273,29 @@ func AvailabilitySweep(cfg AvailabilityConfig) ([]AvailabilityPoint, error) {
 			PeakAdvantage:    m.PeakAdvantage,
 			EdgeJClient:      last.EdgeOnly.PerClient(),
 			CloudJClient:     last.EdgeCloud.PerClient(),
-		}}, nil
+		}
+		// Replay upload episodes on the point's own registry: the
+		// stream seed is two levels below the sweep seed so it can
+		// never collide with the inner sweep's stream.
+		reg := obs.NewRegistry()
+		samples := cfg.UploadSamples
+		if samples <= 0 {
+			samples = DefaultUploadSamples
+		}
+		if err := uploadEpisodes(reg, rng.StreamSeed(rng.StreamSeed(cfg.Seed, uint64(i)), 1<<32),
+			a, cfg.Retry, samples); err != nil {
+			return availEval{}, err
+		}
+		point.Obs = reg.Snapshot()
+		if h, ok := point.Obs.FindHistogram(netsim.MetricUploadSeconds); ok {
+			point.UploadP50S, _ = h.Quantile(0.5)
+			point.UploadP99S, _ = h.Quantile(0.99)
+		}
+		if episodes, ok := point.Obs.FindCounter(netsim.MetricUploadEpisodes); ok && episodes > 0 {
+			drops, _ := point.Obs.FindCounter(netsim.MetricSendDrops)
+			point.DeliveredFrac = (episodes - drops) / episodes
+		}
+		return availEval{point: point, reg: reg}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -219,8 +303,7 @@ func AvailabilitySweep(cfg AvailabilityConfig) ([]AvailabilityPoint, error) {
 
 	parallel.Record(cfg.Metrics, workers)
 	mPoints := cfg.Metrics.Counter(MetricAvailPoints)
-	hCrossover := cfg.Metrics.Histogram(MetricAvailCrossover,
-		[]float64{50, 100, 150, 200, 250, 300, 350, 400, 1000, 2000})
+	hCrossover := cfg.Metrics.Histogram(MetricAvailCrossover)
 	epoch := time.Unix(0, 0).UTC()
 	out := make([]AvailabilityPoint, 0, len(grid))
 	for i, ev := range evals {
@@ -229,6 +312,10 @@ func AvailabilitySweep(cfg AvailabilityConfig) ([]AvailabilityPoint, error) {
 		if p.FirstCrossover > 0 {
 			hCrossover.Observe(float64(p.FirstCrossover))
 		}
+		// Fold the point's upload histograms into the sweep registry.
+		// The commit pass runs in index order at any worker count, so
+		// the merged registry snapshots to identical bytes.
+		cfg.Metrics.Merge(ev.reg)
 		at := epoch.Add(time.Duration(i) * time.Millisecond)
 		cfg.Tracer.Span(fmt.Sprintf("availability %.2f", p.Availability), "sweep",
 			obs.TidEngine, at, time.Millisecond, map[string]any{
@@ -257,21 +344,25 @@ func AvailabilitySweep(cfg AvailabilityConfig) ([]AvailabilityPoint, error) {
 
 // AvailabilitySeries converts availability points into chart/CSV
 // series over the availability axis: per-client energies of both
-// scenarios at the largest fleet, the first-crossover fleet size, and
-// the delivery probability.
-func AvailabilitySeries(points []AvailabilityPoint) (edge, cloud, crossover, delivered report.Series, err error) {
+// scenarios at the largest fleet, the first-crossover fleet size, the
+// delivery probability, and the measured p50/p99 upload latencies.
+func AvailabilitySeries(points []AvailabilityPoint) (edge, cloud, crossover, delivered, uploadP50, uploadP99 report.Series, err error) {
 	n := len(points)
 	x := make([]float64, n)
 	ye := make([]float64, n)
 	yc := make([]float64, n)
 	yx := make([]float64, n)
 	yd := make([]float64, n)
+	y50 := make([]float64, n)
+	y99 := make([]float64, n)
 	for i, p := range points {
 		x[i] = p.Availability
 		ye[i] = float64(p.EdgeJClient)
 		yc[i] = float64(p.CloudJClient)
 		yx[i] = float64(p.FirstCrossover)
 		yd[i] = p.DeliveryProb
+		y50[i] = p.UploadP50S
+		y99[i] = p.UploadP99S
 	}
 	if edge, err = report.NewSeries("edge J/client", x, ye); err != nil {
 		return
@@ -282,6 +373,12 @@ func AvailabilitySeries(points []AvailabilityPoint) (edge, cloud, crossover, del
 	if crossover, err = report.NewSeries("first crossover (clients)", x, yx); err != nil {
 		return
 	}
-	delivered, err = report.NewSeries("delivery probability", x, yd)
+	if delivered, err = report.NewSeries("delivery probability", x, yd); err != nil {
+		return
+	}
+	if uploadP50, err = report.NewSeries("upload p50 (s)", x, y50); err != nil {
+		return
+	}
+	uploadP99, err = report.NewSeries("upload p99 (s)", x, y99)
 	return
 }

@@ -117,12 +117,12 @@ func renderAvailability(t *testing.T, workers int) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	edge, cloud, crossover, delivered, err := AvailabilitySeries(pts)
+	edge, cloud, crossover, delivered, uploadP50, uploadP99, err := AvailabilitySeries(pts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := report.WriteSeriesCSV(&buf, "availability", edge, cloud, crossover, delivered); err != nil {
+	if err := report.WriteSeriesCSV(&buf, "availability", edge, cloud, crossover, delivered, uploadP50, uploadP99); err != nil {
 		t.Fatal(err)
 	}
 	if err := cfg.Ledger.WriteJSONL(&buf); err != nil {

@@ -270,9 +270,8 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 
 	parallel.Record(cfg.Metrics, workers)
 	mPoints := cfg.Metrics.Counter(MetricSweepPoints)
-	jBuckets := []float64{100, 150, 200, 250, 300, 350, 400, 500, 750, 1000}
-	hEdgeJ := cfg.Metrics.Histogram(MetricSweepEdgeJ, jBuckets)
-	hCloudJ := cfg.Metrics.Histogram(MetricSweepCloudJ, jBuckets)
+	hEdgeJ := cfg.Metrics.Histogram(MetricSweepEdgeJ)
+	hCloudJ := cfg.Metrics.Histogram(MetricSweepCloudJ)
 	// The sweep has no virtual clock of its own; points land on a
 	// synthetic 1 ms-per-point timeline so traces stay deterministic.
 	epoch := time.Unix(0, 0).UTC()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"beesim/internal/obs"
+	"beesim/internal/slo"
 	"beesim/internal/store"
 )
 
@@ -24,6 +25,10 @@ type Dashboard struct {
 
 	// Request metrics; nil-safe no-ops when the server has no registry.
 	gInFlight *obs.Gauge
+
+	// SLO evaluation state, armed by SetSLO.
+	sloSpec  *slo.Spec
+	sloStart time.Time
 }
 
 // NewDashboard wraps a server with its HTTP monitoring surface:
@@ -35,6 +40,7 @@ type Dashboard struct {
 //	GET /api/metrics metrics registry snapshot (JSON; 404 when disabled)
 //	GET /metrics     metrics registry snapshot (text; 404 when disabled)
 //	GET /api/ledger  energy ledger export (JSONL; 404 when disabled)
+//	GET /api/slo     SLO evaluation report (JSON; 404 until SetSLO)
 //
 // When the server was configured with a metrics registry, every request
 // is counted and timed (hivenet_http_requests_total.<handler>,
@@ -53,7 +59,18 @@ func NewDashboard(srv *Server) *Dashboard {
 	d.mux.HandleFunc("/api/metrics", d.instrument("metrics", d.handleMetricsJSON))
 	d.mux.HandleFunc("/metrics", d.instrument("metrics", d.handleMetricsText))
 	d.mux.HandleFunc("/api/ledger", d.instrument("ledger", d.handleLedger))
+	d.mux.HandleFunc("/api/slo", d.instrument("slo", d.handleSLO))
 	return d
+}
+
+// SetSLO arms GET /api/slo: every request evaluates the spec against
+// the server's live metrics snapshot and ledger and returns the full
+// report (pass/fail per objective with error-budget burn) as JSON.
+// Call it once, before the dashboard starts serving. Per-day energy
+// budgets are prorated over the time elapsed since SetSLO.
+func (d *Dashboard) SetSLO(spec slo.Spec) {
+	d.sloSpec = &spec
+	d.sloStart = time.Now() //beelint:allow walltime live dashboard SLO windows are wall-clock by nature
 }
 
 // instrument wraps a handler with request counting, wall-clock duration
@@ -66,7 +83,7 @@ func (d *Dashboard) instrument(name string, h http.HandlerFunc) http.HandlerFunc
 		return h
 	}
 	requests := m.Counter(MetricHTTPRequests + "." + name)
-	seconds := m.Histogram(MetricHTTPSeconds+"."+name, obs.DefaultSecondsBuckets())
+	seconds := m.Histogram(MetricHTTPSeconds + "." + name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now() //beelint:allow walltime real HTTP request latency for the live dashboard's metrics
 		d.gInFlight.Add(1)
@@ -130,6 +147,42 @@ func (d *Dashboard) handleLedger(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/jsonl")
 	if err := lg.WriteJSONL(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleSLO evaluates the armed SLO spec against the live registry and
+// ledger. A breach is still a 200 — the report body carries the
+// verdict; monitors should alert on "pass": false, not on the status
+// code, so an SLO burn never looks like a dashboard outage.
+func (d *Dashboard) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if d.sloSpec == nil {
+		http.Error(w, "slo disabled (start the server with -slo spec.json)", http.StatusNotFound)
+		return
+	}
+	m := d.srv.Metrics()
+	if m == nil {
+		http.Error(w, "slo needs metrics (start the server with a registry)", http.StatusNotFound)
+		return
+	}
+	in := slo.Input{
+		Snapshot: m.Snapshot(),
+		Window:   time.Since(d.sloStart), //beelint:allow walltime live dashboard SLO windows are wall-clock by nature
+	}
+	if lg := d.srv.Ledger(); lg != nil {
+		in.Entries = lg.Entries()
+	}
+	rep, err := slo.Evaluate(*d.sloSpec, in)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := rep.WriteJSON(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

@@ -10,6 +10,8 @@ import (
 
 	"beesim/internal/hive"
 	"beesim/internal/ledger"
+	"beesim/internal/obs"
+	"beesim/internal/slo"
 	"beesim/internal/store"
 )
 
@@ -172,5 +174,65 @@ func TestDashboardLedgerEndpoint(t *testing.T) {
 	d2.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/api/ledger", nil))
 	if rec2.Code != http.StatusNotFound {
 		t.Fatalf("disabled ledger status = %d", rec2.Code)
+	}
+}
+
+// TestDashboardSLO: /api/slo is 404 until armed, then evaluates the
+// spec against the live registry (HTTP request-latency histograms
+// feed a latency objective) and reports pass/fail as JSON with a 200
+// either way.
+func TestDashboardSLO(t *testing.T) {
+	cfg := DefaultServerConfig()
+	cfg.Metrics = obs.NewRegistry()
+	s := startServer(t, cfg)
+	d := NewDashboard(s)
+
+	rec := httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/slo", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unarmed /api/slo status = %d", rec.Code)
+	}
+
+	// Generate one instrumented request so the stats histogram has a
+	// sample, then bound its p99.
+	d.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/api/stats", nil))
+	d.SetSLO(slo.Spec{
+		Name: "dash",
+		Objectives: []slo.Objective{
+			{Name: "stats latency", Kind: slo.KindLatency,
+				Metric: MetricHTTPSeconds + ".stats", Quantile: 0.99, MaxSeconds: 30},
+		},
+	})
+	rec = httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/slo", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/api/slo status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var rep slo.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spec != "dash" || len(rep.Results) != 1 || !rep.Results[0].Pass {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// A breach is still a 200: the body, not the status, is the signal.
+	d.SetSLO(slo.Spec{
+		Name: "tight",
+		Objectives: []slo.Objective{
+			{Name: "stats latency", Kind: slo.KindLatency,
+				Metric: MetricHTTPSeconds + ".stats", Quantile: 0.5, MaxSeconds: 1e-12},
+		},
+	})
+	rec = httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/slo", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("breached /api/slo status = %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass() {
+		t.Fatalf("tight SLO must breach: %s", rec.Body.String())
 	}
 }

@@ -30,6 +30,17 @@ const (
 	MetricSendRetries  = "netsim_send_retries_total"
 	MetricSendDrops    = "netsim_send_drops_total"
 	MetricRetryEnergyJ = "netsim_retry_energy_j_total"
+	// MetricUploadEpisodes counts whole upload episodes (one per SendAt
+	// call); together with MetricSendDrops it yields the delivery ratio
+	// an availability SLO checks.
+	MetricUploadEpisodes = "netsim_upload_episodes_total"
+	// MetricUploadSeconds distributes the virtual-time latency of
+	// delivered episodes — first attempt through final payload byte,
+	// including backoff waits — the p99 a latency SLO bounds.
+	MetricUploadSeconds = "netsim_upload_seconds"
+	// MetricAttemptsPerUpload distributes attempts consumed per episode
+	// (delivered or not).
+	MetricAttemptsPerUpload = "netsim_attempts_per_upload"
 )
 
 // Outcome is the result of one fault-aware upload: the delivered
@@ -69,6 +80,9 @@ func (l *Link) AttachFaults(inj *faults.Injector, pol faults.RetryPolicy, m *obs
 	l.mRetries = m.Counter(MetricSendRetries)
 	l.mDrops = m.Counter(MetricSendDrops)
 	l.mRetryEnergy = m.Counter(MetricRetryEnergyJ)
+	l.mEpisodes = m.Counter(MetricUploadEpisodes)
+	l.hUploadSecs = m.Histogram(MetricUploadSeconds)
+	l.hAttempts = m.Histogram(MetricAttemptsPerUpload)
 	return nil
 }
 
@@ -82,6 +96,7 @@ func (l *Link) SendAt(now time.Time, payload Bytes) Outcome {
 	}
 	var elapsed time.Duration
 	var retryE stats.Kahan
+	l.mEpisodes.Inc()
 	budget := l.retry.MaxAttempts
 	for a := 1; a <= budget; a++ {
 		at := now.Add(elapsed)
@@ -98,6 +113,8 @@ func (l *Link) SendAt(now time.Time, payload Bytes) Outcome {
 			if l.lg != nil {
 				l.ledgerTransfer(at, t)
 			}
+			l.hAttempts.Observe(float64(a))
+			l.hUploadSecs.Observe((elapsed + t.Duration).Seconds())
 			return Outcome{
 				Transfer:      t,
 				Delivered:     true,
@@ -113,6 +130,7 @@ func (l *Link) SendAt(now time.Time, payload Bytes) Outcome {
 		}
 	}
 	l.mDrops.Inc()
+	l.hAttempts.Observe(float64(budget))
 	return Outcome{
 		Attempts:      budget,
 		RetryEnergy:   units.Joules(retryE.Sum()),

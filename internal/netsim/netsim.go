@@ -99,6 +99,9 @@ type Link struct {
 	mRetries     *obs.Counter
 	mDrops       *obs.Counter
 	mRetryEnergy *obs.Counter
+	mEpisodes    *obs.Counter
+	hUploadSecs  *obs.Histogram
+	hAttempts    *obs.Histogram
 }
 
 // Metric names emitted by an instrumented link.
@@ -118,7 +121,7 @@ func (l *Link) Instrument(m *obs.Registry, tr *obs.Tracer, clock func() time.Tim
 	l.mTransfers = m.Counter(MetricTransfers)
 	l.mBytes = m.Counter(MetricBytes)
 	l.mTxEnergy = m.Counter(MetricTxEnergyJ)
-	l.hSeconds = m.Histogram(MetricTransferSeconds, obs.DefaultSecondsBuckets())
+	l.hSeconds = m.Histogram(MetricTransferSeconds)
 	if clock != nil {
 		l.tr = tr
 		l.clock = clock

@@ -176,8 +176,7 @@ func Optimize(req Requirements, opts Options) (Result, error) {
 	parallel.Record(opts.Metrics, workers)
 	mCandidates := opts.Metrics.Counter(MetricCandidates)
 	mInfeasible := opts.Metrics.Counter(MetricInfeasible)
-	hPerHive := opts.Metrics.Histogram(MetricPerHiveJ,
-		[]float64{50, 100, 150, 200, 250, 300, 350, 400, 500, 750, 1000})
+	hPerHive := opts.Metrics.Histogram(MetricPerHiveJ)
 
 	var res Result
 	var feasible []Candidate

@@ -13,10 +13,12 @@ import (
 
 // WriteMetricsCSV writes a metrics snapshot as CSV with the columns
 // type,name,key,value. Counters and gauges take one row each (empty
-// key); histograms take one row per populated bucket (key "le:<bound>")
-// plus "count", "sum" and, when any samples were rejected, "dropped"
-// rows. Rows follow the snapshot's name-sorted order, so output is
-// deterministic.
+// key). Histograms take fixed summary rows ("count", "sum", then for
+// non-empty histograms "min", "max" and one "q:<quantile>" row per
+// standard percentile), conditional accounting rows ("low", "high",
+// "dropped" when non-zero), and one row per populated bucket
+// ("le:<bound>"). Rows follow the snapshot's name-sorted order and the
+// per-histogram key order is fixed, so output is byte-deterministic.
 func WriteMetricsCSV(w io.Writer, s obs.Snapshot) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"type", "name", "key", "value"}); err != nil {
@@ -40,6 +42,29 @@ func WriteMetricsCSV(w io.Writer, s obs.Snapshot) error {
 		}
 		if err := cw.Write([]string{"histogram", h.Name, "sum", fv(h.Sum)}); err != nil {
 			return err
+		}
+		if h.Count > 0 {
+			if err := cw.Write([]string{"histogram", h.Name, "min", fv(h.Min)}); err != nil {
+				return err
+			}
+			if err := cw.Write([]string{"histogram", h.Name, "max", fv(h.Max)}); err != nil {
+				return err
+			}
+		}
+		for _, q := range h.Quantiles {
+			if err := cw.Write([]string{"histogram", h.Name, "q:" + fv(q.Q), fv(q.V)}); err != nil {
+				return err
+			}
+		}
+		if h.Low > 0 {
+			if err := cw.Write([]string{"histogram", h.Name, "low", uv(h.Low)}); err != nil {
+				return err
+			}
+		}
+		if h.High > 0 {
+			if err := cw.Write([]string{"histogram", h.Name, "high", uv(h.High)}); err != nil {
+				return err
+			}
 		}
 		if h.Dropped > 0 {
 			if err := cw.Write([]string{"histogram", h.Name, "dropped", uv(h.Dropped)}); err != nil {

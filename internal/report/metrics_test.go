@@ -44,7 +44,7 @@ func TestWriteMetricsCSV(t *testing.T) {
 	r.Counter("battery_discharge_j_total").Add(42.5)
 	r.Counter(`odd "name", with comma`).Inc()
 	r.Gauge("battery_soc").Set(0.8)
-	h := r.Histogram("routine_seconds", []float64{1, 10})
+	h := r.Histogram("routine_seconds")
 	h.Observe(0.5)
 	h.Observe(5)
 	h.Observe(math.NaN()) // dropped
@@ -83,11 +83,27 @@ func TestWriteMetricsCSV(t *testing.T) {
 	if v := find("histogram", "routine_seconds", "dropped"); v != "1" {
 		t.Fatalf("histogram dropped = %q", v)
 	}
-	if v := find("histogram", "routine_seconds", "le:1"); v != "1" {
-		t.Fatalf("le:1 bucket = %q", v)
+	if v := find("histogram", "routine_seconds", "min"); v != "0.5" {
+		t.Fatalf("histogram min = %q", v)
 	}
-	if v := find("histogram", "routine_seconds", "le:10"); v != "1" {
-		t.Fatalf("le:10 bucket = %q", v)
+	if v := find("histogram", "routine_seconds", "max"); v != "5" {
+		t.Fatalf("histogram max = %q", v)
+	}
+	// The percentile columns are the point of the export: p50 is the
+	// rank-1 element's bucket bound, p99 the rank-2 element clamped to
+	// the observed max.
+	if v := find("histogram", "routine_seconds", "q:0.5"); v != "0.515625" {
+		t.Fatalf("q:0.5 = %q", v)
+	}
+	if v := find("histogram", "routine_seconds", "q:0.99"); v != "5" {
+		t.Fatalf("q:0.99 = %q", v)
+	}
+	// Log-linear buckets: 0.5 lands under 0.515625, 5 under 5.125.
+	if v := find("histogram", "routine_seconds", "le:0.515625"); v != "1" {
+		t.Fatalf("le:0.515625 bucket = %q", v)
+	}
+	if v := find("histogram", "routine_seconds", "le:5.125"); v != "1" {
+		t.Fatalf("le:5.125 bucket = %q", v)
 	}
 }
 

@@ -25,6 +25,18 @@ import (
 // starts falling off the back.
 const DefaultUploadBufferCap = 16
 
+// Metric names emitted by an instrumented faulty campaign, alongside
+// the link and retry metrics the netsim probes register.
+const (
+	// MetricWakeupAttempts distributes total send attempts per wake-up
+	// (fresh upload plus backlog drain).
+	MetricWakeupAttempts = "routine_wakeup_attempts"
+	// MetricFallbackJ distributes the edge energy of each local
+	// queen-detection inference run — the per-detection energy paid when
+	// the cloud is unreachable.
+	MetricFallbackJ = "routine_fallback_j"
+)
+
 // UploadBuffer is a bounded FIFO of upload payloads that could not be
 // delivered. When full, the oldest payload is evicted to make room —
 // on a hive monitor the newest observations are the valuable ones —
@@ -186,6 +198,8 @@ func SimulateFaultyCampaign(pi power.Pi3B, cfg FaultyCampaignConfig) (FaultyCamp
 
 	buf := NewUploadBuffer(cfg.BufferCap)
 	fallback := pi.InferCNN()
+	hAttempts := cfg.Metrics.Histogram(MetricWakeupAttempts)
+	hFallbackJ := cfg.Metrics.Histogram(MetricFallbackJ)
 	st := FaultyCampaignStats{Routines: cfg.Routines}
 	var retryE, fallbackE stats.Kahan
 	for i := 0; i < cfg.Routines; i++ {
@@ -198,10 +212,13 @@ func SimulateFaultyCampaign(pi power.Pi3B, cfg FaultyCampaignConfig) (FaultyCamp
 			buf.Push(netsim.RoutinePayload())
 			st.Fallbacks++
 			fallbackE.Add(float64(fallback.Energy))
+			hAttempts.Observe(float64(out.Attempts))
+			hFallbackJ.Observe(float64(fallback.Energy))
 			continue
 		}
 		st.Failures += out.Attempts - 1
 		st.Delivered++
+		wakeAttempts := out.Attempts
 		// Recovery: drain the backlog behind the fresh upload until a
 		// send fails again or the queue empties.
 		t := at.Add(out.TotalDuration)
@@ -209,6 +226,7 @@ func SimulateFaultyCampaign(pi power.Pi3B, cfg FaultyCampaignConfig) (FaultyCamp
 			p, _ := buf.Pop()
 			drain := link.SendAt(t, p)
 			st.Attempts += drain.Attempts
+			wakeAttempts += drain.Attempts
 			retryE.Add(float64(drain.RetryEnergy))
 			if !drain.Delivered {
 				st.Failures += drain.Attempts
@@ -219,6 +237,7 @@ func SimulateFaultyCampaign(pi power.Pi3B, cfg FaultyCampaignConfig) (FaultyCamp
 			st.Flushed++
 			t = t.Add(drain.TotalDuration)
 		}
+		hAttempts.Observe(float64(wakeAttempts))
 	}
 	st.Buffered = buf.Len()
 	st.Dropped = buf.Dropped()

@@ -1,0 +1,78 @@
+// Fuzz target for the spec parser: the one surface a hostile or
+// fat-fingered SLO file can reach. Run continuously with `make chaos`
+// (a short -fuzztime smoke) or standalone:
+//
+//	go test ./internal/slo -fuzz FuzzSLOSpecJSON -fuzztime 30s
+
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzSLOSpecJSON: any input ParseSpec accepts must validate, carry
+// only finite in-range numbers and sorted objective names, and survive
+// a marshal/parse round trip to stable bytes. Unknown fields, trailing
+// data, NaN, negative budgets and unsorted objectives must all be
+// rejected.
+func FuzzSLOSpecJSON(f *testing.F) {
+	f.Add([]byte(`{"name": "upload", "objectives": [{"name": "p99 upload", "kind": "latency", "metric": "netsim_upload_seconds", "quantile": 0.99, "max_s": 120}]}`))
+	f.Add([]byte(`{"name": "hive", "objectives": [{"name": "daily", "kind": "energy", "hive": "h1", "budget_wh_per_day": 10}]}`))
+	f.Add([]byte(`{"name": "hive", "objectives": [{"name": "total", "kind": "energy", "budget_wh": 250}]}`))
+	f.Add([]byte(`{"name": "del", "objectives": [{"name": "delivery", "kind": "availability", "total_metric": "netsim_upload_episodes_total", "bad_metric": "netsim_send_drops_total", "min_ratio": 0.9}]}`))
+	f.Add([]byte(`{"name": "multi", "objectives": [
+	  {"name": "a latency", "kind": "latency", "metric": "m", "quantile": 0.5, "max_s": 1},
+	  {"name": "b energy", "kind": "energy", "budget_wh": 5},
+	  {"name": "c delivery", "kind": "availability", "total_metric": "t", "bad_metric": "b", "min_ratio": 0.5}
+	]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name": "x", "objectives": []}`))
+	f.Add([]byte(`{"name": "x", "objectives": [{"name": "a", "kind": "latency", "metric": "m", "quantile": 1.5, "max_s": 1}]}`))
+	f.Add([]byte(`{"name": "x", "objectives": [{"name": "a", "kind": "energy", "budget_wh": -5}]}`))
+	f.Add([]byte(`{"name": "x", "objectives": [{"name": "b", "kind": "energy", "budget_wh": 5}, {"name": "a", "kind": "energy", "budget_wh": 5}]}`))
+	f.Add([]byte(`{"name": "x", "objectives": [{"name": "a", "kind": "latency", "metric": "m", "quantile": 0.5, "max_s": 1}]} tail`))
+	f.Add([]byte(`{"name": "x", "unknown": 1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		// Accepted specs are valid by construction...
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseSpec accepted an invalid spec: %v", err)
+		}
+		// ...carry only finite, in-range numbers and sorted names...
+		prev := ""
+		for i, o := range spec.Objectives {
+			if i > 0 && prev >= o.Name {
+				t.Fatalf("accepted unsorted objectives: %q then %q", prev, o.Name)
+			}
+			prev = o.Name
+			for _, v := range []float64{o.Quantile, o.MaxSeconds, o.BudgetWh, o.BudgetWhPerDay, o.MinRatio} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("accepted non-finite or negative value %g in %+v", v, o)
+				}
+			}
+		}
+		// ...and round-trip to stable bytes.
+		first, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal accepted spec: %v", err)
+		}
+		back, err := ParseSpec(first)
+		if err != nil {
+			t.Fatalf("re-parse own marshal: %v\n%s", err, first)
+		}
+		second, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("marshal unstable:\n%s\n%s", first, second)
+		}
+	})
+}

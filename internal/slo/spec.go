@@ -1,0 +1,168 @@
+// Package slo is the declarative service-level-objective layer: a
+// strict-parsed JSON spec of latency, energy and availability
+// objectives, and an evaluator that checks them against an obs metrics
+// snapshot plus the energy ledger and reports pass/fail with
+// error-budget burn.
+//
+// Everything is keyed on virtual time and deterministic inputs — the
+// evaluator never reads a wall clock — so the same run always produces
+// the same report, byte for byte, which is what lets an SLO check gate
+// CI the way the conservation audit already does.
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Objective kinds.
+const (
+	// KindLatency bounds a histogram quantile: Quantile of Metric must
+	// stay below MaxSeconds.
+	KindLatency = "latency"
+	// KindEnergy bounds ledger consumption: the Wh consumed (optionally
+	// by one hive) must stay below BudgetWh, or BudgetWhPerDay times the
+	// evaluation window in days.
+	KindEnergy = "energy"
+	// KindAvailability bounds a failure ratio built from two counters:
+	// (TotalMetric - BadMetric) / TotalMetric must stay at or above
+	// MinRatio.
+	KindAvailability = "availability"
+)
+
+// Objective is one target in a spec. Exactly the fields of its Kind may
+// be set; Validate rejects mixtures so a typo'd spec fails loudly
+// instead of silently passing.
+type Objective struct {
+	// Name identifies the objective in reports. Objectives must be
+	// strictly ascending by name so specs have one canonical form.
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+
+	// Latency fields.
+	Metric     string  `json:"metric,omitempty"`
+	Quantile   float64 `json:"quantile,omitempty"`
+	MaxSeconds float64 `json:"max_s,omitempty"`
+
+	// Energy fields. Hive filters ledger entries ("" = whole fleet);
+	// exactly one budget form must be set.
+	Hive           string  `json:"hive,omitempty"`
+	BudgetWh       float64 `json:"budget_wh,omitempty"`
+	BudgetWhPerDay float64 `json:"budget_wh_per_day,omitempty"`
+
+	// Availability fields.
+	TotalMetric string  `json:"total_metric,omitempty"`
+	BadMetric   string  `json:"bad_metric,omitempty"`
+	MinRatio    float64 `json:"min_ratio,omitempty"`
+}
+
+// Spec is a named set of objectives.
+type Spec struct {
+	Name       string      `json:"name"`
+	Objectives []Objective `json:"objectives"`
+}
+
+// ParseSpec decodes and validates a spec from strict JSON: unknown
+// fields, trailing data and out-of-range values are all rejected, so a
+// spec that parses is a spec the evaluator can run.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("slo: parse spec: %w", err)
+	}
+	if dec.More() {
+		return Spec{}, fmt.Errorf("slo: parse spec: trailing data after JSON object")
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadSpec reads and parses a spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("slo: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// Validate checks the spec's shape: a name, at least one objective,
+// strictly ascending objective names, and per-kind field hygiene with
+// every number finite and in range.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("slo: spec needs a name")
+	}
+	if len(s.Objectives) == 0 {
+		return fmt.Errorf("slo: spec %q has no objectives", s.Name)
+	}
+	for i, o := range s.Objectives {
+		if err := o.validate(); err != nil {
+			return fmt.Errorf("slo: spec %q objective %d: %w", s.Name, i, err)
+		}
+		if i > 0 && s.Objectives[i-1].Name >= o.Name {
+			return fmt.Errorf("slo: spec %q objectives not strictly ascending by name: %q then %q",
+				s.Name, s.Objectives[i-1].Name, o.Name)
+		}
+	}
+	return nil
+}
+
+func (o Objective) validate() error {
+	if o.Name == "" {
+		return fmt.Errorf("objective needs a name")
+	}
+	latency := o.Metric != "" || o.Quantile != 0 || o.MaxSeconds != 0
+	energy := o.Hive != "" || o.BudgetWh != 0 || o.BudgetWhPerDay != 0
+	avail := o.TotalMetric != "" || o.BadMetric != "" || o.MinRatio != 0
+	switch o.Kind {
+	case KindLatency:
+		if energy || avail {
+			return fmt.Errorf("latency objective %q carries non-latency fields", o.Name)
+		}
+		if o.Metric == "" {
+			return fmt.Errorf("latency objective %q needs a metric", o.Name)
+		}
+		if !(o.Quantile > 0 && o.Quantile < 1) || math.IsNaN(o.Quantile) {
+			return fmt.Errorf("latency objective %q needs quantile in (0, 1), got %g", o.Name, o.Quantile)
+		}
+		if !(o.MaxSeconds > 0) || math.IsInf(o.MaxSeconds, 0) || math.IsNaN(o.MaxSeconds) {
+			return fmt.Errorf("latency objective %q needs finite max_s > 0, got %g", o.Name, o.MaxSeconds)
+		}
+	case KindEnergy:
+		if latency || avail {
+			return fmt.Errorf("energy objective %q carries non-energy fields", o.Name)
+		}
+		total := o.BudgetWh != 0
+		daily := o.BudgetWhPerDay != 0
+		if total == daily {
+			return fmt.Errorf("energy objective %q needs exactly one of budget_wh / budget_wh_per_day", o.Name)
+		}
+		if total && (!(o.BudgetWh > 0) || math.IsInf(o.BudgetWh, 0) || math.IsNaN(o.BudgetWh)) {
+			return fmt.Errorf("energy objective %q needs finite budget_wh > 0, got %g", o.Name, o.BudgetWh)
+		}
+		if daily && (!(o.BudgetWhPerDay > 0) || math.IsInf(o.BudgetWhPerDay, 0) || math.IsNaN(o.BudgetWhPerDay)) {
+			return fmt.Errorf("energy objective %q needs finite budget_wh_per_day > 0, got %g", o.Name, o.BudgetWhPerDay)
+		}
+	case KindAvailability:
+		if latency || energy {
+			return fmt.Errorf("availability objective %q carries non-availability fields", o.Name)
+		}
+		if o.TotalMetric == "" || o.BadMetric == "" {
+			return fmt.Errorf("availability objective %q needs total_metric and bad_metric", o.Name)
+		}
+		if !(o.MinRatio > 0 && o.MinRatio < 1) || math.IsNaN(o.MinRatio) {
+			return fmt.Errorf("availability objective %q needs min_ratio in (0, 1), got %g", o.Name, o.MinRatio)
+		}
+	default:
+		return fmt.Errorf("objective %q has unknown kind %q", o.Name, o.Kind)
+	}
+	return nil
+}

@@ -165,8 +165,7 @@ func (p *Predictor) Instrument(m *obs.Registry) {
 	p.mObs = m.Counter(MetricObservations)
 	p.mAlarms = m.Counter(MetricAlarms)
 	p.gRisk = m.Gauge(MetricRisk)
-	p.hPiping = m.Histogram(MetricPipingScore,
-		[]float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9})
+	p.hPiping = m.Histogram(MetricPipingScore)
 }
 
 // AttachLedger wires the energy ledger: each Observe appends the
