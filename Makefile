@@ -51,6 +51,7 @@ chaos:
 	$(GO) test -run xxx -fuzz 'FuzzFaultPlanJSON' -fuzztime 10s ./internal/faults/
 	$(GO) test -run xxx -fuzz 'FuzzRetryPolicy' -fuzztime 10s ./internal/faults/
 	$(GO) test -run xxx -fuzz 'FuzzSLOSpecJSON' -fuzztime 10s ./internal/slo/
+	$(GO) test -run xxx -fuzz 'FuzzTraceparent' -fuzztime 10s ./internal/hivenet/
 
 # The tier-1 gate: what CI and pre-commit runs.
 verify: build vet lint test race chaos smoke bench-diff
@@ -73,6 +74,9 @@ bench-baseline:
 	$(GO) test -json -run xxx -bench 'BenchmarkLedger' -benchmem ./internal/ledger/ \
 		>> BENCH_obs.json
 	$(GO) test -json -run xxx -benchmem -count 3 \
+		-bench 'BenchmarkSpanStart|BenchmarkHistogramObserveExemplar' \
+		./internal/obs/ >> BENCH_obs.json
+	$(GO) test -json -run xxx -benchmem -count 3 \
 		-bench 'BenchmarkSweep(Serial|Parallel)$$|BenchmarkMelSpectrogram(Cold|Cached)$$|BenchmarkOptimizeParallel|BenchmarkCampaignParallel' \
 		-benchtime 10x . > BENCH_parallel.json
 
@@ -88,6 +92,9 @@ bench-diff:
 	status=1; \
 	{ $(GO) test -json -run xxx -bench 'BenchmarkDESLoop' -benchtime 300x -count 3 . > $$tmp && \
 	  $(GO) test -json -run xxx -bench 'BenchmarkLedger' -benchmem -count 3 ./internal/ledger/ >> $$tmp && \
+	  $(GO) test -json -run xxx -benchmem -count 3 \
+		-bench 'BenchmarkSpanStart|BenchmarkHistogramObserveExemplar' \
+		./internal/obs/ >> $$tmp && \
 	  $(GO) test -json -run xxx -benchmem -count 3 \
 		-bench 'BenchmarkSweep(Serial|Parallel)$$|BenchmarkMelSpectrogram(Cold|Cached)$$|BenchmarkOptimizeParallel|BenchmarkCampaignParallel' \
 		-benchtime 10x . >> $$tmp && \

@@ -7,13 +7,17 @@
 //	hivenet serve [-addr :7700] [-cap 10] [-slots 18] [-http addr] [-obs]
 //	hivenet agent -addr host:7700 [-hive cachan-1] [-cycles 3]
 //	              [-placement edge|cloud] [-state present|lost|piping]
+//	              [-trace out.json]
 //
 // With -obs the server keeps a metrics registry (sessions, reports,
 // uploads, slot allocations, burst energy, HTTP request durations) and
 // the dashboard exposes snapshot endpoints at /metrics (text) and
-// /api/metrics (JSON). With -ledger it also keeps an energy ledger of
-// every upload's receive/execute burst, exported at /api/ledger as
-// JSONL for hivereport.
+// /api/metrics (JSON). It also arms a tracer: upload frames carrying a
+// W3C traceparent get a joined server handler span, fetchable as a
+// Chrome trace at /api/trace/{id}, with the slowest uploads ranked at
+// /api/slowest. With -ledger it also keeps an energy ledger of every
+// upload's receive/execute burst, exported at /api/ledger as JSONL for
+// hivereport.
 package main
 
 import (
@@ -89,6 +93,10 @@ func serve(args []string) error {
 	}
 	if *withObs || *sloPath != "" {
 		cfg.Metrics = obs.NewRegistry()
+		// Span-tagged handler spans join agent traceparents, so uploads
+		// can be fetched as Chrome traces at /api/trace/{id} and the
+		// slowest uploads ranked at /api/slowest.
+		cfg.Tracer = obs.NewTracer(time.Now().UTC()) //beelint:allow walltime live server anchors its trace epoch to real time; simulations construct tracers from virtual epochs
 	}
 	if *withLedger {
 		cfg.Ledger = ledger.New()
@@ -122,6 +130,7 @@ func agent(args []string) error {
 	placement := fs.String("placement", "cloud", "edge or cloud")
 	state := fs.String("state", "present", "colony truth: present, lost or piping")
 	seed := fs.Uint64("seed", 1, "random seed")
+	tracePath := fs.String("trace", "", "trace the cycles and write a Chrome trace JSON to this file; uploads carry a traceparent the server joins")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -147,6 +156,11 @@ func agent(args []string) error {
 		return fmt.Errorf("unknown state %q", *state)
 	}
 
+	var tr *obs.Tracer
+	if *tracePath != "" {
+		tr = obs.NewTracer(time.Now().UTC()) //beelint:allow walltime live agent anchors its trace epoch to real time; simulated agents trace on virtual epochs
+		cfg.Tracer = tr
+	}
 	a, err := hivenet.Dial(*addr, cfg)
 	if err != nil {
 		return err
@@ -167,5 +181,19 @@ func agent(args []string) error {
 	}
 	fmt.Printf("edge energy spent (active tasks): %v over %d cycles\n",
 		a.EdgeEnergy(), a.Cycles())
+	if tr != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (last trace id %s)\n", *tracePath, a.LastTraceID())
+	}
 	return nil
 }

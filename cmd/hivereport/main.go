@@ -20,6 +20,12 @@
 //
 //	hivereport slo -spec examples/slo_upload.json -metrics snap.json
 //	hivereport slo -spec hive.json -ledger run.jsonl -window 48h
+//
+// The trace subcommand runs the critical-path analyzer over Chrome
+// trace JSON files: slowest uploads, per-segment latency decomposition,
+// and exemplar cross-reference (see trace.go):
+//
+//	hivereport trace -top 10 -metrics snap.json run.trace.json
 package main
 
 import (
@@ -47,6 +53,9 @@ func run(args []string, out io.Writer) error {
 	// flags-only invocations (`hivereport -diff a b`) working unchanged.
 	if len(args) > 0 && args[0] == "slo" {
 		return runSLO(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "trace" {
+		return runTrace(args[1:], out)
 	}
 	fs := flag.NewFlagSet("hivereport", flag.ContinueOnError)
 	diff := fs.Bool("diff", false, "compare two ledger files (A B): where did the joules move?")

@@ -8,7 +8,8 @@
 //
 //	hivetrace [-days 7] [-wake 10m] [-site cachan|lyon] [-csv out.csv]
 //	          [-trace out.json] [-trace-events] [-metrics]
-//	          [-metrics-csv out.csv] [-ledger out.jsonl] [-flight N]
+//	          [-metrics-csv out.csv] [-metrics-json out.json]
+//	          [-ledger out.jsonl] [-flight N]
 //	          [-empty] [-no-brownout] [-faults plan.json]
 //	          [-slo spec.json] [-replicas N] [-workers N]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -84,6 +85,7 @@ func run(args []string) (err error) {
 	traceEvents := fs.Bool("trace-events", false, "include every DES engine event in the trace (verbose)")
 	metrics := fs.Bool("metrics", false, "print the metrics snapshot after the summary")
 	metricsCSV := fs.String("metrics-csv", "", "write the metrics snapshot to this CSV file")
+	metricsJSON := fs.String("metrics-json", "", "write the metrics snapshot to this JSON file (exemplars included; feeds hivereport trace -metrics)")
 	ledgerPath := fs.String("ledger", "", "write the energy ledger to this JSONL file and audit it")
 	flight := fs.Int("flight", 0, "flight-recorder mode: retain only the last N ledger entries, dump to stderr on battery cutoff")
 	empty := fs.Bool("empty", false, "simulate an empty hive (no colony yet)")
@@ -142,12 +144,12 @@ func run(args []string) (err error) {
 		}
 	}
 	if *replicas > 0 {
-		if *metrics || *metricsCSV != "" || *tracePath != "" || *ledgerPath != "" || *csvPath != "" || *flight > 0 || *sloPath != "" {
-			return usageError("-replicas is a summary ensemble; it cannot be combined with -csv, -trace, -metrics, -metrics-csv, -ledger, -flight or -slo")
+		if *metrics || *metricsCSV != "" || *metricsJSON != "" || *tracePath != "" || *ledgerPath != "" || *csvPath != "" || *flight > 0 || *sloPath != "" {
+			return usageError("-replicas is a summary ensemble; it cannot be combined with -csv, -trace, -metrics, -metrics-csv, -metrics-json, -ledger, -flight or -slo")
 		}
 		return runEnsemble(cfg, *replicas)
 	}
-	if *metrics || *metricsCSV != "" || *sloPath != "" {
+	if *metrics || *metricsCSV != "" || *metricsJSON != "" || *sloPath != "" {
 		// -slo needs the metrics registry armed even when the snapshot
 		// is not otherwise printed: latency objectives read histograms.
 		cfg.Metrics = obs.NewRegistry()
@@ -275,6 +277,16 @@ func run(args []string) (err error) {
 			return err
 		}
 		fmt.Printf("\n  metrics written to %s\n", *metricsCSV)
+	}
+
+	if *metricsJSON != "" {
+		err := writeFile(*metricsJSON, func(f *os.File) error {
+			return cfg.Metrics.Snapshot().WriteJSON(f)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n  metrics written to %s\n", *metricsJSON)
 	}
 
 	if *metrics {

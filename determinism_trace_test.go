@@ -1,0 +1,161 @@
+package beesim
+
+// Trace determinism: span IDs are pure hashes of (seed, hive, wake-up,
+// attempt), so a faulted multi-hive campaign must stitch to the same
+// trace bytes, the same exemplar sets, and the same critical-path
+// report at every worker count. This is the tentpole contract of the
+// tracing layer — anything time- or schedule-dependent in ID derivation
+// or exemplar retention shows up here as a byte diff.
+
+import (
+	"bytes"
+	"testing"
+
+	"beesim/internal/deployment"
+	"beesim/internal/ledger"
+	"beesim/internal/obs"
+	"beesim/internal/parallel"
+	"beesim/internal/report"
+	"beesim/internal/rng"
+)
+
+const traceCampaignHives = 3
+
+// renderTraceCampaign runs a faulted three-hive deployment day with
+// per-hive tracers and registries, then flattens every traced
+// observable — stitched Chrome trace JSON, merged metrics snapshot
+// (exemplars included), and the hivereport-trace critical-path report —
+// into one byte slice.
+func renderTraceCampaign(t *testing.T, workers int) []byte {
+	t.Helper()
+	plan := chaosPlan()
+	type hiveRun struct {
+		events []obs.TraceEvent
+		m      *obs.Registry
+	}
+	runs, err := parallel.Map(workers, traceCampaignHives, func(i int) (hiveRun, error) {
+		cfg := deployment.DefaultConfig()
+		cfg.Days = 1
+		cfg.Faults = &plan
+		cfg.Seed = rng.StreamSeed(99, uint64(i))
+		cfg.HiveID = []string{"hive-a", "hive-b", "hive-c"}[i]
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Ledger = ledger.New()
+		cfg.Tracer = obs.NewTracer(cfg.Start)
+		if _, err := deployment.Run(cfg); err != nil {
+			return hiveRun{}, err
+		}
+		return hiveRun{cfg.Tracer.Events(), cfg.Metrics}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lists := make([][]obs.TraceEvent, len(runs))
+	merged := obs.NewRegistry()
+	for i, r := range runs {
+		lists[i] = r.events
+		merged.Merge(r.m)
+	}
+	stitched := obs.Stitch(lists...)
+
+	var buf bytes.Buffer
+	if err := obs.WriteTraceJSON(&buf, stitched); err != nil {
+		t.Fatal(err)
+	}
+	snap := maskWorkers(merged.Snapshot())
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sums := obs.AnalyzeTraces(stitched)
+	if len(sums) == 0 {
+		t.Fatal("faulted campaign produced no traced uploads")
+	}
+	if err := report.WriteTraceReport(&buf, sums, 5, snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceCampaignDeterministicAcrossWorkers is the tracing layer's
+// worker-count contract: trace JSON, exemplars and the critical-path
+// report are byte-identical at workers 1, 2 and 8.
+func TestTraceCampaignDeterministicAcrossWorkers(t *testing.T) {
+	want := renderTraceCampaign(t, determinismWorkers[0])
+	if len(want) == 0 {
+		t.Fatal("empty render")
+	}
+	for _, w := range determinismWorkers[1:] {
+		if got := renderTraceCampaign(t, w); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d traced campaign diverged from workers=1 (%d vs %d bytes)",
+				w, len(got), len(want))
+		}
+	}
+}
+
+// TestTraceCampaignCriticalPathCoverage pins the analyzer's acceptance
+// bar on real simulation output: every traced wake-up in a faulted
+// deployment day attributes at least 95 % of its end-to-end latency to
+// named segments, and retried uploads carry per-attempt spans that
+// share the root's trace ID.
+func TestTraceCampaignCriticalPathCoverage(t *testing.T) {
+	plan := chaosPlan()
+	cfg := deployment.DefaultConfig()
+	cfg.Days = 1
+	cfg.Faults = &plan
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Tracer = obs.NewTracer(cfg.Start)
+	if _, err := deployment.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	sums := obs.AnalyzeTraces(cfg.Tracer.Events())
+	if len(sums) == 0 {
+		t.Fatal("no traced wake-ups")
+	}
+	var retried bool
+	for _, s := range sums {
+		if s.RootName != "wake-up routine" {
+			t.Fatalf("trace %s root = %q, want the deployment wake-up span", s.TraceID, s.RootName)
+		}
+		if cov := s.Coverage(); cov < 0.95 {
+			t.Errorf("trace %s attributes only %.1f%% of its %.1f ms",
+				s.TraceID, 100*cov, float64(s.TotalUS)/1e3)
+		}
+		if s.Segment("uplink retry") > 0 {
+			retried = true
+			if s.Segment("uplink backoff") == 0 {
+				t.Errorf("trace %s has retry spans but no backoff span", s.TraceID)
+			}
+		}
+	}
+	if !retried {
+		t.Error("chaos plan produced no retried upload; attempt spans untested")
+	}
+
+	// Exemplars in the registry resolve to analyzed traces.
+	byID := make(map[string]bool, len(sums))
+	for _, s := range sums {
+		byID[s.TraceID] = true
+	}
+	snap := cfg.Metrics.Snapshot()
+	var exemplars int
+	for _, h := range snap.Histograms {
+		for _, e := range h.Exemplars {
+			exemplars++
+			if !byID[e.TraceID] {
+				t.Errorf("histogram %s exemplar points at unknown trace %s", h.Name, e.TraceID)
+			}
+		}
+	}
+	if exemplars == 0 {
+		t.Error("instrumented faulted run kept no exemplars")
+	}
+
+	// Wake-up roots are distinct traces with stable IDs: re-deriving the
+	// first root from (seed, hive, index) reproduces its ID. The default
+	// hive label is the location name.
+	sc := obs.NewRootSpan(cfg.Seed, cfg.Location.Name, 0)
+	if !byID[sc.TraceHex()] {
+		t.Errorf("wake-up 0 trace %s not among analyzed traces", sc.TraceHex())
+	}
+}

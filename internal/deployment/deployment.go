@@ -388,16 +388,31 @@ func Run(cfg Config) (*Trace, error) {
 		}
 		tr.Wakeups++
 		mWakeups.Inc()
+		// Root span of this wake-up's causal trace. The identity is a
+		// pure hash of (seed, hive, wake-up index) — see obs.NewRootSpan
+		// — so replica traces are byte-identical at any worker count.
+		// With no tracer armed sc stays nil and every *Ctx call below
+		// collapses to its untraced twin.
+		var sc *obs.SpanContext
+		if cfg.Tracer != nil {
+			sc = obs.NewRootSpan(cfg.Seed, hiveID, uint64(tr.Wakeups-1))
+		}
+		upSC := sc.Child("upload", 0)
 		if inj == nil {
 			// Fault-free path, byte-identical to earlier releases.
 			// Routine duration varies with the link (Section IV).
-			transfer := link.Send(netsim.RoutinePayload())
+			transfer := link.SendSpan(now, netsim.RoutinePayload(), upSC).Transfer
 			routineDur := fixedDur + transfer.Duration
 			routineUntil = now.Add(routineDur)
-			hRoutine.Observe(routineDur.Seconds())
+			hRoutine.ObserveExemplar(routineDur.Seconds(), sc)
 			wakeJ := float64(fixedEnergy) + float64(send.Power().Energy(transfer.Duration))
-			hWakeupJ.Observe(wakeJ)
-			cfg.Tracer.Span("wake-up routine", "deployment", obs.TidRoutine, now, routineDur,
+			hWakeupJ.ObserveExemplar(wakeJ, sc)
+			if sc != nil {
+				cfg.Tracer.SpanCtx(sc.Child("compute", 0), "compute", "deployment",
+					obs.TidRoutine, now.Add(transfer.Duration), fixedDur,
+					map[string]any{"joules": float64(fixedEnergy)})
+			}
+			cfg.Tracer.SpanCtx(sc, "wake-up routine", "deployment", obs.TidRoutine, now, routineDur,
 				map[string]any{
 					"joules":         wakeJ,
 					"transfer_bytes": int64(transfer.Payload),
@@ -410,7 +425,7 @@ func Run(cfg Config) (*Trace, error) {
 			// backoff waits, transfers) extends the routine, so the
 			// battery accounting in envTick prices every retry
 			// automatically.
-			out := link.SendAt(now, netsim.RoutinePayload())
+			out := link.SendSpan(now, netsim.RoutinePayload(), upSC)
 			tr.UploadRetries += out.Attempts - 1
 			mRetries.Add(float64(out.Attempts - 1))
 			tr.RetryEnergy += out.RetryEnergy
@@ -418,9 +433,9 @@ func Run(cfg Config) (*Trace, error) {
 			if out.Delivered {
 				t := now.Add(busy)
 				var drainRetryE stats.Kahan
-				for buf.Len() > 0 {
+				for drainIdx := uint64(1); buf.Len() > 0; drainIdx++ {
 					p, _ := buf.Pop()
-					drain := link.SendAt(t, p)
+					drain := link.SendSpan(t, p, sc.Child("drain", drainIdx))
 					tr.UploadRetries += drain.Attempts - 1
 					mRetries.Add(float64(drain.Attempts - 1))
 					drainRetryE.Add(float64(drain.RetryEnergy))
@@ -441,15 +456,20 @@ func Run(cfg Config) (*Trace, error) {
 					tr.DroppedUploads++
 					mDropped.Inc()
 				}
-				cfg.Tracer.Instant("upload failed", "deployment", obs.TidNetwork, now,
+				cfg.Tracer.InstantCtx(sc, "upload failed", "deployment", obs.TidNetwork, now,
 					map[string]any{"attempts": out.Attempts})
 			}
 			routineDur := fixedDur + busy
 			routineUntil = now.Add(routineDur)
-			hRoutine.Observe(routineDur.Seconds())
+			hRoutine.ObserveExemplar(routineDur.Seconds(), sc)
 			wakeJ := float64(fixedEnergy) + float64(send.Power().Energy(busy))
-			hWakeupJ.Observe(wakeJ)
-			cfg.Tracer.Span("wake-up routine", "deployment", obs.TidRoutine, now, routineDur,
+			hWakeupJ.ObserveExemplar(wakeJ, sc)
+			if sc != nil {
+				cfg.Tracer.SpanCtx(sc.Child("compute", 0), "compute", "deployment",
+					obs.TidRoutine, now.Add(busy), fixedDur,
+					map[string]any{"joules": float64(fixedEnergy)})
+			}
+			cfg.Tracer.SpanCtx(sc, "wake-up routine", "deployment", obs.TidRoutine, now, routineDur,
 				map[string]any{
 					"joules":    wakeJ,
 					"attempts":  out.Attempts,

@@ -8,12 +8,19 @@ import (
 
 	"beesim/internal/audio"
 	"beesim/internal/hive"
+	"beesim/internal/netsim"
+	"beesim/internal/obs"
 	"beesim/internal/power"
 	"beesim/internal/proto"
 	"beesim/internal/queendetect"
 	"beesim/internal/routine"
 	"beesim/internal/units"
 )
+
+// ErrUploadDropped reports that the modeled uplink exhausted its retry
+// budget before delivering the cycle's audio upload. The session stays
+// usable; the caller decides whether to retry next wake-up.
+var ErrUploadDropped = errors.New("hivenet: upload dropped: uplink retry budget exhausted")
 
 // AgentConfig shapes one edge agent.
 type AgentConfig struct {
@@ -29,6 +36,19 @@ type AgentConfig struct {
 	Seed uint64
 	// DialTimeout bounds connection establishment.
 	DialTimeout time.Duration
+	// Tracer, when non-nil, records each cycle's edge tasks as tagged
+	// spans of a per-wake-up trace whose ID is a pure hash of
+	// (Seed, HiveID, wake index); the upload frames then carry the
+	// trace as a W3C traceparent so the server joins its handler spans
+	// into the same trace.
+	Tracer *obs.Tracer
+	// Uplink, when non-nil, models the radio episode of each EdgeCloud
+	// upload (attempts, backoff, retry energy) in virtual time. A
+	// fault-armed link can exhaust its budget, which surfaces as
+	// ErrUploadDropped; a delivered episode shifts the upload's
+	// timestamp by the episode's total duration so server-side
+	// accounting sees the queue and retry delay.
+	Uplink *netsim.Link
 }
 
 // DefaultAgentConfig returns an edge+cloud agent at the paper's cadence.
@@ -52,8 +72,10 @@ type Agent struct {
 	slot     int
 
 	cycles     int
+	wakes      int
 	edgeEnergy units.Joules
 	lastResult *proto.Result
+	lastTrace  string
 }
 
 // Dial connects an agent to the cloud service and completes the session
@@ -144,6 +166,11 @@ func (a *Agent) LastResult() (proto.Result, bool) {
 	return *a.lastResult, true
 }
 
+// LastTraceID returns the trace ID of the most recent wake-up ("" when
+// the agent runs untraced or has not cycled yet). Use it to fetch the
+// stitched trace from the dashboard's /api/trace/{id} endpoint.
+func (a *Agent) LastTraceID() string { return a.lastTrace }
+
 // RunCycle performs one wake-up cycle against the given ground-truth
 // colony state: collect (synthesize the clip and a sensor report), then
 // infer locally or upload, then "shut down".
@@ -151,9 +178,36 @@ func (a *Agent) RunCycle(state hive.QueenState, activity float64, now time.Time)
 	if a.conn == nil {
 		return proto.Result{}, errors.New("hivenet: agent closed")
 	}
+	// Root span of this wake-up's causal trace. The index counts every
+	// wake attempt (dropped uploads included) so each wake-up owns a
+	// distinct trace ID; sc stays nil on untraced agents, keeping the
+	// wire frames byte-identical to earlier releases (omitempty).
+	var sc *obs.SpanContext
+	if a.cfg.Tracer != nil || a.cfg.Uplink != nil {
+		sc = obs.NewRootSpan(a.cfg.Seed, a.cfg.HiveID, uint64(a.wakes))
+	}
+	a.wakes++
 	pi := power.DefaultPi3B()
 	clip := a.synth.Clip(state, activity)
-	a.edgeEnergy += pi.WakeAndCollect().Energy
+	collect := pi.WakeAndCollect()
+	a.edgeEnergy += collect.Energy
+	// upEnd tracks when the modeled radio episode delivered (equal to
+	// now when no uplink is modeled); the root span covers through the
+	// later of the edge timeline and the radio episode.
+	upEnd := now
+	// Edge task spans stack on a virtual timeline from now; edgeAt
+	// advances as the routine progresses.
+	edgeAt := now
+	edgeIdx := uint64(0)
+	edgeSpan := func(t power.Task) {
+		if sc != nil {
+			a.cfg.Tracer.SpanCtx(sc.Child("edge", edgeIdx), t.Name, "edge",
+				obs.TidRoutine, edgeAt, t.Duration, map[string]any{"joules": float64(t.Energy)})
+		}
+		edgeAt = edgeAt.Add(t.Duration)
+		edgeIdx++
+	}
+	edgeSpan(collect)
 
 	// The scalar sensor report goes up in both placements.
 	report := proto.SensorReport{
@@ -162,6 +216,7 @@ func (a *Agent) RunCycle(state hive.QueenState, activity float64, now time.Time)
 		InsideTempC: 34.8,
 		InsideRH:    0.6,
 		BatterySoC:  0.8,
+		Traceparent: sc.Traceparent(),
 	}
 	if err := proto.Encode(a.conn, proto.TypeSensorReport, report, nil); err != nil {
 		return proto.Result{}, err
@@ -177,12 +232,16 @@ func (a *Agent) RunCycle(state hive.QueenState, activity float64, now time.Time)
 		if err != nil {
 			return proto.Result{}, err
 		}
-		a.edgeEnergy += pi.InferSVM().Energy + pi.SendResults().Energy
+		infer, sendRes := pi.InferSVM(), pi.SendResults()
+		a.edgeEnergy += infer.Energy + sendRes.Energy
+		edgeSpan(infer)
+		edgeSpan(sendRes)
 		result = proto.Result{
 			HiveID:       a.cfg.HiveID,
 			Time:         now,
 			QueenPresent: queen,
 			ComputedAt:   "edge",
+			Traceparent:  sc.Traceparent(),
 		}
 		if err := proto.Encode(a.conn, proto.TypeResult, result, nil); err != nil {
 			return proto.Result{}, err
@@ -192,12 +251,32 @@ func (a *Agent) RunCycle(state hive.QueenState, activity float64, now time.Time)
 		}
 
 	case routine.EdgeCloud:
-		a.edgeEnergy += pi.SendAudio().Energy
+		sendTask := pi.SendAudio()
+		a.edgeEnergy += sendTask.Energy
+		edgeSpan(sendTask)
+		// The upload span is the parent of the radio attempts and of
+		// the server's handler span (joined via the traceparent).
+		upSC := sc.Child("upload", 0)
 		up := proto.AudioUpload{
-			HiveID:     a.cfg.HiveID,
-			Time:       now,
-			SampleRate: audio.SampleRate,
-			Samples:    len(clip),
+			HiveID:      a.cfg.HiveID,
+			Time:        now,
+			SampleRate:  audio.SampleRate,
+			Samples:     len(clip),
+			Traceparent: upSC.Traceparent(),
+		}
+		if a.cfg.Uplink != nil {
+			// Model the radio episode in virtual time: attempts, backoff
+			// and retry energy. A delivered episode delays the upload's
+			// effective timestamp by its total duration, so server-side
+			// accounting (and the handler span) sees the retry latency.
+			out := a.cfg.Uplink.SendSpan(now, netsim.Bytes(2*len(clip)), upSC)
+			a.edgeEnergy += out.RetryEnergy
+			if !out.Delivered {
+				a.lastTrace = sc.TraceHex()
+				return proto.Result{}, ErrUploadDropped
+			}
+			up.Time = now.Add(out.TotalDuration)
+			upEnd = up.Time
 		}
 		if err := proto.Encode(a.conn, proto.TypeAudioUpload, up, proto.PCMEncode(clip)); err != nil {
 			return proto.Result{}, err
@@ -219,9 +298,20 @@ func (a *Agent) RunCycle(state hive.QueenState, activity float64, now time.Time)
 		return proto.Result{}, fmt.Errorf("hivenet: unsupported placement %v", a.cfg.Placement)
 	}
 
-	a.edgeEnergy += pi.Shutdown().Energy
+	shut := pi.Shutdown()
+	a.edgeEnergy += shut.Energy
+	edgeSpan(shut)
+	if sc != nil && a.cfg.Tracer != nil {
+		end := edgeAt
+		if upEnd.After(end) {
+			end = upEnd
+		}
+		a.cfg.Tracer.SpanCtx(sc, "wake-up cycle", "edge", obs.TidRoutine, now, end.Sub(now),
+			map[string]any{"hive": a.cfg.HiveID})
+	}
 	a.cycles++
 	a.lastResult = &result
+	a.lastTrace = sc.TraceHex()
 	return result, nil
 }
 

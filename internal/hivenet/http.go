@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"beesim/internal/obs"
@@ -41,6 +42,13 @@ type Dashboard struct {
 //	GET /metrics     metrics registry snapshot (text; 404 when disabled)
 //	GET /api/ledger  energy ledger export (JSONL; 404 when disabled)
 //	GET /api/slo     SLO evaluation report (JSON; 404 until SetSLO)
+//	GET /api/trace/{id}  one trace's events, Chrome trace_event JSON
+//	                     (404 when tracing is disabled or id unknown)
+//	GET /api/slowest     slowest-upload exemplars, slowest first (JSON)
+//
+// Every /api/* response carries Content-Type: application/json (the
+// ledger export overrides to application/jsonl) and Cache-Control:
+// no-store, so browsers and proxies never serve stale monitoring data.
 //
 // When the server was configured with a metrics registry, every request
 // is counted and timed (hivenet_http_requests_total.<handler>,
@@ -53,14 +61,29 @@ func NewDashboard(srv *Server) *Dashboard {
 		gInFlight: srv.Metrics().Gauge(MetricHTTPInFlight),
 	}
 	d.mux.HandleFunc("/", d.instrument("index", d.handleIndex))
-	d.mux.HandleFunc("/api/stats", d.instrument("stats", d.handleStats))
-	d.mux.HandleFunc("/api/hives", d.instrument("hives", d.handleHives))
-	d.mux.HandleFunc("/api/records", d.instrument("records", d.handleRecords))
-	d.mux.HandleFunc("/api/metrics", d.instrument("metrics", d.handleMetricsJSON))
+	d.mux.HandleFunc("/api/stats", d.instrument("stats", apiHeaders(d.handleStats)))
+	d.mux.HandleFunc("/api/hives", d.instrument("hives", apiHeaders(d.handleHives)))
+	d.mux.HandleFunc("/api/records", d.instrument("records", apiHeaders(d.handleRecords)))
+	d.mux.HandleFunc("/api/metrics", d.instrument("metrics", apiHeaders(d.handleMetricsJSON)))
 	d.mux.HandleFunc("/metrics", d.instrument("metrics", d.handleMetricsText))
-	d.mux.HandleFunc("/api/ledger", d.instrument("ledger", d.handleLedger))
-	d.mux.HandleFunc("/api/slo", d.instrument("slo", d.handleSLO))
+	d.mux.HandleFunc("/api/ledger", d.instrument("ledger", apiHeaders(d.handleLedger)))
+	d.mux.HandleFunc("/api/slo", d.instrument("slo", apiHeaders(d.handleSLO)))
+	d.mux.HandleFunc("/api/trace/", d.instrument("trace", apiHeaders(d.handleTrace)))
+	d.mux.HandleFunc("/api/slowest", d.instrument("slowest", apiHeaders(d.handleSlowest)))
 	return d
+}
+
+// apiHeaders pins the response headers every /api/* endpoint must
+// carry: an explicit JSON content type (handlers with a different body
+// format override it before writing) and no-store caching, so a
+// browser polling the dashboard never shows stale counters. http.Error
+// replaces the content type on error paths; Cache-Control survives.
+func apiHeaders(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		h(w, r)
+	}
 }
 
 // SetSLO arms GET /api/slo: every request evaluates the spec against
@@ -187,6 +210,63 @@ func (d *Dashboard) handleSLO(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// validTraceID reports whether id is a 32-digit lowercase hex trace ID
+// — the only form the span layer ever mints.
+func validTraceID(id string) bool {
+	if len(id) != 32 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleTrace serves one trace's events as a Chrome trace_event JSON
+// file — load it in Perfetto to see the wake-up's full edge-to-cloud
+// chain (root routine span, per-attempt radio spans, server handler).
+func (d *Dashboard) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if d.srv.Tracer() == nil {
+		http.Error(w, "tracing disabled (start the server with a tracer)", http.StatusNotFound)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/api/trace/")
+	if !validTraceID(id) {
+		http.Error(w, "trace id must be 32 lowercase hex digits", http.StatusBadRequest)
+		return
+	}
+	events, ok := d.srv.TraceEvents(id)
+	if !ok {
+		http.Error(w, "unknown trace id", http.StatusNotFound)
+		return
+	}
+	if err := obs.WriteTraceJSON(w, events); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleSlowest lists the slowest end-to-end uploads the server has
+// handled, as (latency, trace ID) exemplars linking straight into
+// /api/trace/{id}. Empty until traced uploads arrive.
+func (d *Dashboard) handleSlowest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	ex := d.srv.SlowestUploads(16)
+	if ex == nil {
+		ex = []obs.ExemplarSnap{}
+	}
+	writeJSON(w, ex)
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
@@ -277,7 +357,12 @@ var indexTemplate = template.Must(template.New("index").Parse(`<!doctype html>
 {{else}}<li>none yet</li>
 {{end}}
 </ul>
-<p>API: /api/stats, /api/hives, /api/records?hive=ID&amp;kind=result, /api/ledger</p>
+{{if .Slowest}}<h2>slowest uploads</h2>
+<ul>
+{{range .Slowest}}<li><a href="/api/trace/{{.TraceID}}">{{.TraceID}}</a> — {{printf "%.2f" .Value}} s end-to-end</li>
+{{end}}
+</ul>
+{{end}}<p>API: /api/stats, /api/hives, /api/records?hive=ID&amp;kind=result, /api/ledger, /api/slowest, /api/trace/{id}</p>
 </body></html>
 `))
 
@@ -307,12 +392,14 @@ func (d *Dashboard) handleIndex(w http.ResponseWriter, r *http.Request) {
 		BurstJ   float64
 		Hives    []string
 		Latest   map[string]string
+		Slowest  []obs.ExemplarSnap
 	}{
 		Stats:    st,
 		Accuracy: 100 * d.srv.DetectorAccuracy(),
 		BurstJ:   float64(st.BurstEnergy),
 		Hives:    hives,
 		Latest:   latest,
+		Slowest:  d.srv.SlowestUploads(5),
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := indexTemplate.Execute(w, data); err != nil {

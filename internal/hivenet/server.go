@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -58,6 +59,13 @@ type ServerConfig struct {
 	// /api/ledger endpoint. The entries carry no store: the server is
 	// grid-powered, so they never enter a battery conservation balance.
 	Ledger *ledger.Ledger
+	// Tracer, when non-nil, records a handler span per audio upload,
+	// joined into the uploading agent's trace via the frame's W3C
+	// traceparent, and enables the dashboard's /api/trace/{id} and
+	// /api/slowest endpoints. Spans are keyed by the upload's virtual
+	// timestamp, so traces from deterministic campaigns stay
+	// reproducible.
+	Tracer *obs.Tracer
 }
 
 // Metric names emitted by an instrumented server.
@@ -73,6 +81,15 @@ const (
 	MetricHTTPInFlight = "hivenet_http_in_flight"
 	MetricHTTPRequests = "hivenet_http_requests_total"
 	MetricHTTPSeconds  = "hivenet_http_request_seconds"
+	// MetricUploadHandleSeconds distributes the server-side handling
+	// burst (receive + execute) per audio upload.
+	MetricUploadHandleSeconds = "hivenet_upload_handle_seconds"
+	// MetricUploadE2ESeconds distributes the end-to-end upload latency
+	// seen by the server: the session's last sensor-report (wake-up)
+	// timestamp through handling done. Retried uploads arrive with
+	// shifted timestamps, so radio attempts and backoff show up here;
+	// its exemplars feed the dashboard's slowest-uploads panel.
+	MetricUploadE2ESeconds = "hivenet_upload_e2e_seconds"
 )
 
 // DefaultServerConfig mirrors the paper's Figure-6 setting with a small
@@ -111,10 +128,12 @@ type Server struct {
 	mReports     *obs.Counter
 	mUploads     *obs.Counter
 	mSessionErrs *obs.Counter
-	mSlotAssigns *obs.Counter
-	mSlotRejects *obs.Counter
-	mBurstJ      *obs.Counter
-	gClients     *obs.Gauge
+	mSlotAssigns  *obs.Counter
+	mSlotRejects  *obs.Counter
+	mBurstJ       *obs.Counter
+	gClients      *obs.Gauge
+	hUploadHandle *obs.Histogram
+	hUploadE2E    *obs.Histogram
 }
 
 // NewServer trains the detection model and binds a listener on addr
@@ -169,6 +188,9 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		mSlotRejects: cfg.Metrics.Counter(MetricSlotRejects),
 		mBurstJ:      cfg.Metrics.Counter(MetricBurstJ),
 		gClients:     cfg.Metrics.Gauge(MetricClientsLive),
+
+		hUploadHandle: cfg.Metrics.Histogram(MetricUploadHandleSeconds),
+		hUploadE2E:    cfg.Metrics.Histogram(MetricUploadE2ESeconds),
 	}
 	return s, nil
 }
@@ -311,6 +333,11 @@ func (s *Server) handle(conn net.Conn) error {
 	}
 	s.logf("hive %s joined slot %d", hello.HiveID, slot)
 
+	// lastWake remembers the session's most recent sensor-report
+	// timestamp — the wake-up instant — so an upload's end-to-end
+	// latency (wake through handling, radio retries included) can be
+	// measured from the shifted upload timestamp.
+	var lastWake time.Time
 	for {
 		f, err := proto.Decode(conn)
 		if err != nil {
@@ -342,6 +369,7 @@ func (s *Server) handle(conn net.Conn) error {
 			s.reports++
 			s.mu.Unlock()
 			s.mReports.Inc()
+			lastWake = r.Time
 			if err := proto.Encode(conn, proto.TypeAck, nil, nil); err != nil {
 				return err
 			}
@@ -366,7 +394,31 @@ func (s *Server) handle(conn net.Conn) error {
 				_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
 				return err
 			}
-			s.accountUpload(up.HiveID, up.Time)
+			// Join the agent's trace: the frame's traceparent names the
+			// upload span, and the handler span becomes its child. A
+			// missing or malformed header degrades to an untraced
+			// handling (never a session error).
+			var srvSC *obs.SpanContext
+			if up.Traceparent != "" {
+				if pc, perr := obs.ParseTraceparent(up.Traceparent); perr == nil {
+					srvSC = pc.Child("server", 0)
+				}
+			}
+			burstD, burstJ := s.accountUpload(up.HiveID, up.Time)
+			if srvSC != nil {
+				s.cfg.Tracer.SpanCtx(srvSC, "server handle upload", "server",
+					obs.TidServer, up.Time, burstD, map[string]any{
+						"hive":   up.HiveID,
+						"queen":  queen,
+						"joules": float64(burstJ),
+					})
+			}
+			s.hUploadHandle.ObserveExemplar(burstD.Seconds(), srvSC)
+			if !lastWake.IsZero() && up.Time.After(lastWake) {
+				s.hUploadE2E.ObserveExemplar(up.Time.Sub(lastWake).Seconds()+burstD.Seconds(), srvSC)
+			} else {
+				s.hUploadE2E.ObserveExemplar(burstD.Seconds(), srvSC)
+			}
 			s.mu.Lock()
 			s.uploads++
 			s.mu.Unlock()
@@ -377,6 +429,7 @@ func (s *Server) handle(conn net.Conn) error {
 				QueenPresent: queen,
 				Confidence:   confidence,
 				ComputedAt:   "cloud",
+				Traceparent:  srvSC.Traceparent(),
 			}
 			s.archiveResult(res)
 			if err := proto.Encode(conn, proto.TypeResult, res, nil); err != nil {
@@ -456,8 +509,9 @@ func (s *Server) infer(samples []float64, sampleRate int) (bool, float64, error)
 
 // accountUpload charges the energy books for one receive+execute burst
 // using the calibrated cloud model (Table II's rows), attributing the
-// entries to the uploading hive at its own timestamp.
-func (s *Server) accountUpload(hive string, at time.Time) {
+// entries to the uploading hive at its own timestamp. It returns the
+// burst's duration and above-idle energy for the handler span.
+func (s *Server) accountUpload(hive string, at time.Time) (time.Duration, units.Joules) {
 	recv := s.cloud.Receive()
 	exec := s.cloud.ExecSVM()
 	recvExtra := (recv.Power() - s.cloud.IdlePower).Energy(recv.Duration)
@@ -478,8 +532,51 @@ func (s *Server) accountUpload(hive string, at time.Time) {
 			Joules: float64(execExtra), Seconds: exec.Duration.Seconds(),
 		})
 	}
+	return recv.Duration + exec.Duration, recvExtra + execExtra
 }
 
 // Ledger returns the ledger the server was configured with (nil when
 // disabled).
 func (s *Server) Ledger() *ledger.Ledger { return s.cfg.Ledger }
+
+// Tracer returns the tracer the server was configured with (nil when
+// tracing is disabled).
+func (s *Server) Tracer() *obs.Tracer { return s.cfg.Tracer }
+
+// TraceEvents returns every recorded event tagged with the given trace
+// ID, in recording order. When agents share the server's tracer (the
+// in-process campaign setup) this is the full edge-to-cloud chain;
+// otherwise it is the server-side slice. ok is false when tracing is
+// disabled or the ID is unknown.
+func (s *Server) TraceEvents(id string) ([]obs.TraceEvent, bool) {
+	if s.cfg.Tracer == nil || id == "" {
+		return nil, false
+	}
+	var out []obs.TraceEvent
+	for _, e := range s.cfg.Tracer.Events() {
+		if e.Args == nil {
+			continue
+		}
+		if tid, _ := e.Args[obs.ArgTraceID].(string); tid == id {
+			out = append(out, e)
+		}
+	}
+	return out, len(out) > 0
+}
+
+// SlowestUploads returns up to n end-to-end upload-latency exemplars,
+// slowest first (ties toward the smaller trace ID) — the dashboard's
+// "which uploads hurt" panel. Empty when metrics or tracing are off.
+func (s *Server) SlowestUploads(n int) []obs.ExemplarSnap {
+	ex := s.hUploadE2E.Exemplars()
+	sort.Slice(ex, func(i, j int) bool {
+		if ex[i].Value != ex[j].Value {
+			return ex[i].Value > ex[j].Value
+		}
+		return ex[i].TraceID < ex[j].TraceID
+	})
+	if n >= 0 && len(ex) > n {
+		ex = ex[:n]
+	}
+	return ex
+}

@@ -88,10 +88,40 @@ func (l *Link) AttachFaults(inj *faults.Injector, pol faults.RetryPolicy, m *obs
 
 // SendAt uploads payload starting at virtual instant now, retrying
 // failed attempts under the armed policy. Without an armed injector it
-// is exactly Send.
+// is exactly Send. SendAt is the untraced form of SendSpan: same rng
+// draws, same metrics, same ledger entries, no span identity.
 func (l *Link) SendAt(now time.Time, payload Bytes) Outcome {
+	return l.SendSpan(now, payload, nil)
+}
+
+// SendSpan is SendAt carrying a span context through the radio episode.
+// When sc is non-nil, every attempt becomes a child span of sc on the
+// network track — delivered transfers as "uplink transfer" (tagged with
+// the attempt number), failed attempts as "uplink retry" spans covering
+// setup plus timeout, backoff waits as "uplink backoff" spans — and the
+// upload latency/attempt histograms record exemplars pointing back at
+// sc's trace ID. A nil sc is exactly SendAt: the rng draw sequence,
+// metric increments, trace events and ledger entries are byte-identical
+// to the untraced path, so arming tracing never perturbs a run.
+func (l *Link) SendSpan(now time.Time, payload Bytes, sc *obs.SpanContext) Outcome {
 	if l.inj == nil {
-		t := l.Send(payload)
+		if sc == nil {
+			t := l.Send(payload)
+			return Outcome{Transfer: t, Delivered: true, Attempts: 1, TotalDuration: t.Duration}
+		}
+		// Fault-free traced path: Send's accounting with the span's own
+		// start instant and a tagged transfer span.
+		t := l.sample(payload)
+		l.mTransfers.Inc()
+		l.mBytes.Add(float64(t.Payload))
+		l.mTxEnergy.Add(float64(t.ExtraEnergy))
+		l.hSeconds.ObserveExemplar(t.Duration.Seconds(), sc)
+		if l.tr != nil {
+			l.traceTransferCtx(sc.Child("attempt", 1), now, t, 1)
+		}
+		if l.lg != nil {
+			l.ledgerTransfer(now, t)
+		}
 		return Outcome{Transfer: t, Delivered: true, Attempts: 1, TotalDuration: t.Duration}
 	}
 	var elapsed time.Duration
@@ -101,20 +131,25 @@ func (l *Link) SendAt(now time.Time, payload Bytes) Outcome {
 	for a := 1; a <= budget; a++ {
 		at := now.Add(elapsed)
 		l.mAttempts.Inc()
+		attemptSC := sc.Child("attempt", uint64(a)) // nil when sc is nil
 		if l.inj.LinkUp(at) && !l.inj.DropUpload(at, a) {
 			t := l.sample(payload)
 			l.mTransfers.Inc()
 			l.mBytes.Add(float64(t.Payload))
 			l.mTxEnergy.Add(float64(t.ExtraEnergy))
-			l.hSeconds.Observe(t.Duration.Seconds())
+			l.hSeconds.ObserveExemplar(t.Duration.Seconds(), sc)
 			if l.tr != nil {
-				l.traceTransfer(at, t)
+				if attemptSC != nil {
+					l.traceTransferCtx(attemptSC, at, t, a)
+				} else {
+					l.traceTransfer(at, t)
+				}
 			}
 			if l.lg != nil {
 				l.ledgerTransfer(at, t)
 			}
-			l.hAttempts.Observe(float64(a))
-			l.hUploadSecs.Observe((elapsed + t.Duration).Seconds())
+			l.hAttempts.ObserveExemplar(float64(a), sc)
+			l.hUploadSecs.ObserveExemplar((elapsed+t.Duration).Seconds(), sc)
 			return Outcome{
 				Transfer:      t,
 				Delivered:     true,
@@ -123,19 +158,40 @@ func (l *Link) SendAt(now time.Time, payload Bytes) Outcome {
 				TotalDuration: elapsed + t.Duration,
 			}
 		}
-		elapsed += l.failAttempt(at, &retryE)
+		elapsed += l.failAttempt(at, &retryE, attemptSC)
 		if a < budget {
 			l.mRetries.Inc()
-			elapsed += l.retry.Backoff(a, l.inj.JitterU(at, a))
+			wait := l.retry.Backoff(a, l.inj.JitterU(at, a))
+			if attemptSC != nil && wait > 0 {
+				l.tr.SpanCtx(sc.Child("backoff", uint64(a)), "uplink backoff", "net",
+					obs.TidNetwork, now.Add(elapsed), wait, map[string]any{"attempt": a})
+			}
+			elapsed += wait
 		}
 	}
 	l.mDrops.Inc()
-	l.hAttempts.Observe(float64(budget))
+	l.hAttempts.ObserveExemplar(float64(budget), sc)
+	if sc != nil {
+		l.tr.InstantCtx(sc, "upload dropped", "net", obs.TidNetwork, now.Add(elapsed), map[string]any{
+			"attempts": budget,
+		})
+	}
 	return Outcome{
 		Attempts:      budget,
 		RetryEnergy:   units.Joules(retryE.Sum()),
 		TotalDuration: elapsed,
 	}
+}
+
+// traceTransferCtx is traceTransfer with span identity and the attempt
+// number tagged onto the transfer span.
+func (l *Link) traceTransferCtx(sc *obs.SpanContext, at time.Time, t Transfer, attempt int) {
+	l.tr.SpanCtx(sc, "uplink transfer", "net", obs.TidNetwork, at, t.Duration, map[string]any{
+		"bytes":        int64(t.Payload),
+		"throughput_b": t.Throughput,
+		"tx_joules":    float64(t.ExtraEnergy),
+		"attempt":      attempt,
+	})
 }
 
 // failAttempt accounts one failed attempt: the radio stays up for the
@@ -144,7 +200,10 @@ func (l *Link) SendAt(now time.Time, payload Bytes) Outcome {
 // attribution-only "uplink retry" entry (skipped when it rounds to
 // zero, mirroring the zero-energy transfer rule) and in the retry
 // counters; the duration is returned for the caller's virtual clock.
-func (l *Link) failAttempt(at time.Time, retryE *stats.Kahan) time.Duration {
+// With a span context the failed attempt becomes a tagged span covering
+// the radio-busy window; without one it stays the classic instant
+// marker, keeping untraced output byte-identical.
+func (l *Link) failAttempt(at time.Time, retryE *stats.Kahan, sc *obs.SpanContext) time.Duration {
 	d := l.cfg.SetupTime + l.retry.AttemptTimeout
 	e := l.cfg.TxPower.Energy(d)
 	retryE.Add(float64(e))
@@ -152,10 +211,17 @@ func (l *Link) failAttempt(at time.Time, retryE *stats.Kahan) time.Duration {
 	l.mTxEnergy.Add(float64(e))
 	l.mRetryEnergy.Add(float64(e))
 	if l.tr != nil {
-		l.tr.Instant("uplink retry", "net", obs.TidNetwork, at, map[string]any{
-			"tx_joules": float64(e),
-			"timeout_s": d.Seconds(),
-		})
+		if sc != nil {
+			l.tr.SpanCtx(sc, "uplink retry", "net", obs.TidNetwork, at, d, map[string]any{
+				"tx_joules": float64(e),
+				"timeout_s": d.Seconds(),
+			})
+		} else {
+			l.tr.Instant("uplink retry", "net", obs.TidNetwork, at, map[string]any{
+				"tx_joules": float64(e),
+				"timeout_s": d.Seconds(),
+			})
+		}
 	}
 	if l.lg != nil && e > 0 {
 		l.lg.Append(ledger.Entry{

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// buildTracedUpload emits a synthetic wake-up trace: a root span, a
+// compute child, two uplink attempts with a backoff between them, and a
+// server handler span — the same shape deployment + netsim + hivenet
+// produce. Returns the trace ID.
+func buildTracedUpload(tr *Tracer, seed uint64, hive string, wake uint64, at time.Time) string {
+	sc := NewRootSpan(seed, hive, wake)
+	up := sc.Child("upload", 0)
+	// Root covers the full 10 s episode.
+	tr.SpanCtx(sc, "wake-up routine", "deployment", TidRoutine, at, 10*time.Second, nil)
+	tr.SpanCtx(sc.Child("compute", 0), "compute", "routine", TidRoutine, at, 2*time.Second, nil)
+	tr.SpanCtx(up.Child("attempt", 1), "uplink retry", "net", TidNetwork, at.Add(2*time.Second), 1*time.Second, nil)
+	tr.SpanCtx(up.Child("backoff", 1), "uplink backoff", "net", TidNetwork, at.Add(3*time.Second), 2*time.Second, nil)
+	tr.SpanCtx(up.Child("attempt", 2), "uplink transfer", "net", TidNetwork, at.Add(5*time.Second), 3*time.Second, nil)
+	tr.SpanCtx(up.Child("server", 0), "server handle upload", "server", TidServer, at.Add(8*time.Second), 2*time.Second, nil)
+	return sc.TraceHex()
+}
+
+func TestAnalyzeTracesDecomposition(t *testing.T) {
+	epoch := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	tr := NewTracer(epoch)
+	id := buildTracedUpload(tr, 7, "hive-1", 0, epoch)
+	// An untagged legacy span must be ignored.
+	tr.Span("engine tick", "des", TidEngine, epoch, time.Second, nil)
+
+	sums := AnalyzeTraces(tr.Events())
+	if len(sums) != 1 {
+		t.Fatalf("got %d traces, want 1", len(sums))
+	}
+	s := sums[0]
+	if s.TraceID != id || s.RootName != "wake-up routine" {
+		t.Fatalf("root mis-identified: %+v", s)
+	}
+	if s.TotalUS != 10_000_000 {
+		t.Fatalf("TotalUS = %d, want 10s", s.TotalUS)
+	}
+	// Non-root spans tile the whole window: full attribution.
+	if s.CoveredUS != s.TotalUS {
+		t.Fatalf("CoveredUS = %d, want %d", s.CoveredUS, s.TotalUS)
+	}
+	if got := s.Coverage(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Coverage = %v, want 1", got)
+	}
+	wantSegs := map[string]int64{
+		"compute":              2_000_000,
+		"uplink retry":         1_000_000,
+		"uplink backoff":       2_000_000,
+		"uplink transfer":      3_000_000,
+		"server handle upload": 2_000_000,
+	}
+	for name, us := range wantSegs {
+		if got := s.Segment(name); got != us {
+			t.Fatalf("segment %q = %d us, want %d", name, got, us)
+		}
+	}
+	if s.Segments[0].Name != "uplink transfer" {
+		t.Fatalf("segments not sorted largest-first: %+v", s.Segments)
+	}
+	if s.Segment("no-such") != 0 {
+		t.Fatalf("missing segment must read 0")
+	}
+}
+
+func TestAnalyzeTracesSortsSlowestFirst(t *testing.T) {
+	epoch := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	tr := NewTracer(epoch)
+	// Three wake-ups; wake 1 is stretched by a long backoff.
+	buildTracedUpload(tr, 7, "hive-1", 0, epoch)
+	slow := NewRootSpan(7, "hive-1", 1)
+	tr.SpanCtx(slow, "wake-up routine", "deployment", TidRoutine, epoch.Add(time.Hour), 30*time.Second, nil)
+	tr.SpanCtx(slow.Child("backoff", 1), "uplink backoff", "net", TidNetwork, epoch.Add(time.Hour), 30*time.Second, nil)
+	buildTracedUpload(tr, 7, "hive-1", 2, epoch.Add(2*time.Hour))
+
+	sums := AnalyzeTraces(tr.Events())
+	if len(sums) != 3 {
+		t.Fatalf("got %d traces, want 3", len(sums))
+	}
+	if sums[0].TraceID != slow.TraceHex() || sums[0].TotalUS != 30_000_000 {
+		t.Fatalf("slowest trace not first: %+v", sums[0])
+	}
+	if sums[1].TotalUS < sums[2].TotalUS {
+		t.Fatalf("summaries not sorted by TotalUS desc")
+	}
+}
+
+func TestAnalyzeTracesOverlapUnion(t *testing.T) {
+	epoch := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	tr := NewTracer(epoch)
+	sc := NewRootSpan(1, "h", 0)
+	tr.SpanCtx(sc, "root", "x", 0, epoch, 10*time.Second, nil)
+	// Two fully-overlapping children: union is 4 s, not 8.
+	tr.SpanCtx(sc.Child("a", 0), "a", "x", 0, epoch, 4*time.Second, nil)
+	tr.SpanCtx(sc.Child("b", 0), "b", "x", 0, epoch, 4*time.Second, nil)
+	s := AnalyzeTraces(tr.Events())[0]
+	if s.CoveredUS != 4_000_000 {
+		t.Fatalf("overlap union = %d, want 4s", s.CoveredUS)
+	}
+	if s.Segment("a")+s.Segment("b") != 8_000_000 {
+		t.Fatalf("segment sums must not dedupe overlap")
+	}
+}
+
+func TestAnalyzeTracesServerOnlySlice(t *testing.T) {
+	// A trace slice with no parentless span (server saw the upload but
+	// the edge file was lost): the longest span stands in as root.
+	epoch := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	tr := NewTracer(epoch)
+	sc := NewRootSpan(1, "h", 0)
+	tr.SpanCtx(sc.Child("server", 0), "server handle upload", "server", TidServer, epoch, 2*time.Second, nil)
+	tr.SpanCtx(sc.Child("server", 1), "server store", "server", TidServer, epoch, time.Second, nil)
+	sums := AnalyzeTraces(tr.Events())
+	if len(sums) != 1 || sums[0].RootName != "server handle upload" {
+		t.Fatalf("server-only slice mishandled: %+v", sums)
+	}
+}
+
+func TestAggregateSegments(t *testing.T) {
+	epoch := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	tr := NewTracer(epoch)
+	for w := 0; w < 10; w++ {
+		buildTracedUpload(tr, 7, "hive-1", uint64(w), epoch.Add(time.Duration(w)*time.Hour))
+	}
+	stats := AggregateSegments(AnalyzeTraces(tr.Events()))
+	if len(stats) != 5 {
+		t.Fatalf("got %d segments, want 5: %+v", len(stats), stats)
+	}
+	if stats[0].Name != "uplink transfer" || stats[0].TotalUS != 30_000_000 {
+		t.Fatalf("dominant segment wrong: %+v", stats[0])
+	}
+	for _, st := range stats {
+		if st.Traces != 10 || st.Spans != 10 {
+			t.Fatalf("segment %q counts wrong: %+v", st.Name, st)
+		}
+		if st.P50US != st.P99US {
+			t.Fatalf("identical traces must have flat quantiles: %+v", st)
+		}
+	}
+	if got := AggregateSegments(nil); len(got) != 0 {
+		t.Fatalf("empty input must aggregate to empty")
+	}
+}
+
+func TestRankQuantile(t *testing.T) {
+	vals := []int64{10, 20, 30, 40}
+	cases := []struct {
+		q    float64
+		want int64
+	}{{0.25, 10}, {0.5, 20}, {0.75, 30}, {0.99, 40}, {1, 40}}
+	for _, c := range cases {
+		if got := rankQuantile(vals, c.q); got != c.want {
+			t.Errorf("rankQuantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if rankQuantile(nil, 0.5) != 0 {
+		t.Errorf("empty rankQuantile must be 0")
+	}
+}

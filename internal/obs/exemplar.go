@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Histogram exemplars: each populated bucket keeps a tiny reservoir of
+// (value, trace ID) pairs, so a quantile is not just a number — "p99
+// upload latency is 41 s" comes with the trace IDs of actual uploads in
+// that bucket, and `hivereport trace` (or GET /api/trace/{id}) shows
+// exactly where those seconds went.
+//
+// The reservoir policy is a pure function of the observed multiset, not
+// of arrival order: each bucket keeps its exemplarsPerBucket largest
+// values, ties broken toward the lexicographically smallest trace ID.
+// That makes exemplar sets order-independent, which is what lets them
+// survive Merge with byte-identical results at any worker count.
+//
+// Exemplars are recorded only through ObserveExemplar with a non-nil
+// SpanContext; the plain Observe path and the nil-context path never
+// touch the reservoir (or its lock), keeping untraced runs zero-alloc
+// and untraced snapshots byte-identical to earlier releases.
+
+// exemplarsPerBucket is the reservoir capacity per histogram bucket.
+// Two is enough to answer "show me a trace behind this quantile" while
+// keeping merge traffic and snapshot size negligible.
+const exemplarsPerBucket = 2
+
+// Bucket keys for observations outside the shared grid.
+const (
+	exemplarLowKey  = -1          // finite observations <= 0
+	exemplarHighKey = histBuckets // finite observations >= the grid top
+)
+
+// Exemplar is one (value, trace ID) pair kept by a bucket reservoir.
+type Exemplar struct {
+	Value   float64
+	TraceID string // 32-digit lowercase hex
+}
+
+// exemplarLess orders a reservoir: larger values first, ties toward the
+// smaller trace ID. The order doubles as the eviction rule.
+func exemplarLess(a, b Exemplar) bool {
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	return a.TraceID < b.TraceID
+}
+
+// exemplarKey maps a finite observation onto its reservoir key,
+// mirroring Observe's bucket routing exactly.
+func exemplarKey(v float64) int {
+	if v <= 0 {
+		return exemplarLowKey
+	}
+	if i, ok := bucketIndex(v); ok {
+		return i
+	}
+	return exemplarHighKey
+}
+
+// ObserveExemplar records one sample like Observe and, when sc is
+// non-nil, offers (v, trace ID) to the sample's bucket reservoir. With
+// a nil context it is exactly Observe — no lock, no allocation — so
+// instrumented code threads its SpanContext unconditionally.
+func (h *Histogram) ObserveExemplar(v float64, sc *SpanContext) {
+	h.Observe(v)
+	if h == nil || sc == nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	key := exemplarKey(v)
+	e := Exemplar{Value: v, TraceID: sc.TraceHex()}
+	h.exMu.Lock()
+	h.offerLocked(key, e)
+	h.exMu.Unlock()
+}
+
+// offerLocked inserts e into bucket key's reservoir, keeping the list
+// sorted by exemplarLess and truncated to exemplarsPerBucket. Must be
+// called with exMu held.
+func (h *Histogram) offerLocked(key int, e Exemplar) {
+	if h.ex == nil {
+		h.ex = make(map[int][]Exemplar)
+	}
+	list := h.ex[key]
+	i := sort.Search(len(list), func(i int) bool { return !exemplarLess(list[i], e) })
+	if i >= exemplarsPerBucket {
+		return // ranks below everything the reservoir keeps
+	}
+	list = append(list, Exemplar{})
+	copy(list[i+1:], list[i:])
+	list[i] = e
+	if len(list) > exemplarsPerBucket {
+		list = list[:exemplarsPerBucket]
+	}
+	h.ex[key] = list
+}
+
+// mergeExemplars folds src's reservoirs into h. Offers are made in
+// sorted key order, but the top-K policy is order-independent anyway:
+// the merged reservoir equals the one a single histogram would hold
+// after observing both sample streams.
+func (h *Histogram) mergeExemplars(src *Histogram) {
+	src.exMu.Lock()
+	if src.ex == nil {
+		src.exMu.Unlock()
+		return
+	}
+	type keyed struct {
+		key  int
+		list []Exemplar
+	}
+	pairs := make([]keyed, 0, len(src.ex))
+	for k, list := range src.ex { // collected then sorted below
+		cp := make([]Exemplar, len(list))
+		copy(cp, list)
+		pairs = append(pairs, keyed{k, cp})
+	}
+	src.exMu.Unlock()
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+	h.exMu.Lock()
+	for _, p := range pairs {
+		for _, e := range p.list {
+			h.offerLocked(p.key, e)
+		}
+	}
+	h.exMu.Unlock()
+}
+
+// exemplarLE labels a reservoir key the way bucket snapshots label
+// bounds: the containing grid bucket's upper bound, "0" for the low
+// bucket, "+Inf" for the overflow bucket.
+func exemplarLE(key int) string {
+	switch {
+	case key == exemplarLowKey:
+		return "0"
+	case key >= histBuckets:
+		return "+Inf"
+	default:
+		return formatBound(bucketBound(key))
+	}
+}
+
+// Exemplars returns the histogram's current exemplars sorted by bucket
+// (then by the reservoir order: value descending, trace ID ascending).
+// Empty for a nil histogram or one that never saw a traced observation.
+func (h *Histogram) Exemplars() []ExemplarSnap {
+	if h == nil {
+		return nil
+	}
+	h.exMu.Lock()
+	type keyed struct {
+		key  int
+		list []Exemplar
+	}
+	pairs := make([]keyed, 0, len(h.ex))
+	for k, list := range h.ex { // collected then sorted below
+		cp := make([]Exemplar, len(list))
+		copy(cp, list)
+		pairs = append(pairs, keyed{k, cp})
+	}
+	h.exMu.Unlock()
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+	var out []ExemplarSnap
+	for _, p := range pairs {
+		for _, e := range p.list {
+			out = append(out, ExemplarSnap{LE: exemplarLE(p.key), Value: e.Value, TraceID: e.TraceID})
+		}
+	}
+	return out
+}

@@ -217,6 +217,12 @@ type Histogram struct {
 	dropped atomic.Uint64 // non-finite observations
 	minOrd  atomic.Uint64 // orderedBits; valid iff count > 0
 	maxOrd  atomic.Uint64
+
+	// Exemplar reservoirs, keyed by bucket (see exemplar.go). Lazily
+	// allocated under exMu on the first traced observation, so
+	// untraced histograms never touch the lock or the map.
+	exMu sync.Mutex
+	ex   map[int][]Exemplar
 }
 
 // newHistogram returns a histogram with min/max sentinels armed.
@@ -380,6 +386,7 @@ func (h *Histogram) Merge(src *Histogram) {
 		atomicOrderMin(&h.minOrd, src.minOrd.Load())
 		atomicOrderMax(&h.maxOrd, src.maxOrd.Load())
 	}
+	h.mergeExemplars(src)
 }
 
 // Registry holds named instruments. The zero value is not usable;

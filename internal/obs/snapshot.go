@@ -53,6 +53,15 @@ type QuantileSnap struct {
 	V float64 `json:"v"`
 }
 
+// ExemplarSnap is one exported histogram exemplar: a concrete traced
+// observation from the bucket labeled LE, linking the quantile ladder
+// back to a specific trace ID.
+type ExemplarSnap struct {
+	LE      string  `json:"le"`
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
+}
+
 // HistogramSnap is one histogram at snapshot time. Only populated grid
 // buckets are exported (the grid has thousands of mostly-empty
 // buckets); conservation still holds over the export:
@@ -71,6 +80,30 @@ type HistogramSnap struct {
 	Dropped   uint64         `json:"dropped,omitempty"`
 	Quantiles []QuantileSnap `json:"quantiles,omitempty"`
 	Buckets   []BucketSnap   `json:"buckets"`
+	// Exemplars carries the bucket reservoirs' (value, trace ID)
+	// pairs; empty (and omitted from JSON) unless the histogram saw
+	// traced observations via ObserveExemplar.
+	Exemplars []ExemplarSnap `json:"exemplars,omitempty"`
+}
+
+// ExemplarNear returns the exemplar whose value is closest to v — the
+// "show me a trace behind this quantile" lookup: pass a quantile
+// estimate and get a concrete trace ID from that neighborhood. Ties
+// break toward the smaller trace ID. ok=false when the snapshot holds
+// no exemplars or v is not finite.
+func (h HistogramSnap) ExemplarNear(v float64) (ExemplarSnap, bool) {
+	if len(h.Exemplars) == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return ExemplarSnap{}, false
+	}
+	best := h.Exemplars[0]
+	bestD := math.Abs(best.Value - v)
+	for _, e := range h.Exemplars[1:] {
+		d := math.Abs(e.Value - v)
+		if d < bestD || (d == bestD && e.TraceID < best.TraceID) {
+			best, bestD = e, d
+		}
+	}
+	return best, true
 }
 
 // Quantile computes the q-quantile (0 < q <= 1) from the exported
@@ -164,6 +197,7 @@ func snapHistogram(name string, h *Histogram) HistogramSnap {
 			hs.Quantiles = append(hs.Quantiles, QuantileSnap{Q: q, V: v})
 		}
 	}
+	hs.Exemplars = h.Exemplars()
 	return hs
 }
 
@@ -260,6 +294,12 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		}
 		if h.Dropped > 0 {
 			if _, err := fmt.Fprintf(tw, "\t  dropped(non-finite)\t%d\n", h.Dropped); err != nil {
+				return err
+			}
+		}
+		for _, e := range h.Exemplars {
+			if _, err := fmt.Fprintf(tw, "\t  exemplar le=%s v=%s\ttrace=%s\n",
+				e.LE, formatValue(e.Value), e.TraceID); err != nil {
 				return err
 			}
 		}

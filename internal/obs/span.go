@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"errors"
+	"time"
+
+	"beesim/internal/rng"
+)
+
+// Distributed tracing identities. A SpanContext names one span inside
+// one trace; it crosses process boundaries as a W3C-style traceparent
+// header (`00-<trace>-<span>-<flags>`), so the hivenet server can join
+// its handler spans into the trace an edge agent opened.
+//
+// Determinism is the whole point: IDs are *hashed*, never drawn from a
+// stateful generator, wall clock or global counter. A root span's trace
+// ID is a pure function of (seed, hive, wake-up index) through
+// rng.StreamSeed, and every child span ID is a pure function of
+// (parent span ID, kind, index) — so stitched traces are byte-identical
+// at any worker count, the same contract internal/parallel pins for
+// metrics and ledgers.
+//
+// A nil *SpanContext is a no-op everywhere, mirroring the nil *Tracer
+// convention: untraced runs thread nil through the whole upload path
+// and pay no allocations.
+
+// TraceID is the 16-byte trace identity shared by every span of one
+// causal chain (one wake-up's upload, edge to cloud).
+type TraceID [16]byte
+
+// SpanID is the 8-byte identity of one span within a trace.
+type SpanID [8]byte
+
+// SpanContext identifies one span: the trace it belongs to, its own ID,
+// and its parent's ID (zero for a root span).
+type SpanContext struct {
+	Trace  TraceID
+	Span   SpanID
+	Parent SpanID
+	// Flags is the traceparent trace-flags byte (bit 0 = sampled).
+	// NewRootSpan sets it to 1; ParseTraceparent preserves the wire
+	// value so headers round-trip exactly.
+	Flags byte
+}
+
+// fnv64a hashes s with FNV-1a, allocation-free (hash/fnv's New64a
+// escapes to the heap; span derivation sits on the per-attempt path).
+func fnv64a(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
+}
+
+func u64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+// NewRootSpan derives the root span of one wake-up's trace. The trace
+// ID mixes (seed, hive, wakeup) through two StreamSeed finalizations;
+// the root span ID is a further derivation of the trace ID. All-zero
+// IDs are forbidden by the traceparent format, so the (astronomically
+// unlikely) zero hash is nudged deterministically.
+func NewRootSpan(seed uint64, hive string, wakeup uint64) *SpanContext {
+	hi := rng.StreamSeed(seed, fnv64a(hive))
+	lo := rng.StreamSeed(hi, wakeup)
+	sc := &SpanContext{Flags: 1}
+	putU64(sc.Trace[0:8], hi)
+	putU64(sc.Trace[8:16], lo)
+	if sc.Trace == (TraceID{}) {
+		sc.Trace[15] = 1
+	}
+	span := rng.StreamSeed(lo^hi, wakeup)
+	if span == 0 {
+		span = 1
+	}
+	putU64(sc.Span[:], span)
+	return sc
+}
+
+// Child derives the span for one sub-operation: kind names the
+// operation class ("upload", "attempt", "backoff", "server") and index
+// distinguishes repetitions (the retry attempt number). The child
+// shares the trace ID, records the receiver as its parent, and its span
+// ID is a pure function of (parent span ID, kind, index). A nil
+// receiver returns nil, so untraced code paths stay no-ops.
+func (sc *SpanContext) Child(kind string, index uint64) *SpanContext {
+	if sc == nil {
+		return nil
+	}
+	c := *sc
+	c.Parent = sc.Span
+	id := rng.StreamSeed(u64(sc.Span[:])^fnv64a(kind), index)
+	if id == 0 {
+		id = 1
+	}
+	putU64(c.Span[:], id)
+	return &c
+}
+
+const hexDigits = "0123456789abcdef"
+
+func appendHex(dst []byte, b []byte) []byte {
+	for _, v := range b {
+		dst = append(dst, hexDigits[v>>4], hexDigits[v&0x0f])
+	}
+	return dst
+}
+
+// TraceHex returns the 32-digit lowercase hex trace ID ("" for nil).
+func (sc *SpanContext) TraceHex() string {
+	if sc == nil {
+		return ""
+	}
+	return string(appendHex(make([]byte, 0, 32), sc.Trace[:]))
+}
+
+// SpanHex returns the 16-digit lowercase hex span ID ("" for nil).
+func (sc *SpanContext) SpanHex() string {
+	if sc == nil {
+		return ""
+	}
+	return string(appendHex(make([]byte, 0, 16), sc.Span[:]))
+}
+
+// ParentHex returns the 16-digit lowercase hex parent span ID ("" for
+// nil contexts and for root spans).
+func (sc *SpanContext) ParentHex() string {
+	if sc == nil || sc.Parent == (SpanID{}) {
+		return ""
+	}
+	return string(appendHex(make([]byte, 0, 16), sc.Parent[:]))
+}
+
+// Traceparent serializes the context in the W3C trace-context format:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// (version 00, 32 hex trace ID, 16 hex span ID, 2 hex flags). A nil
+// context serializes to "".
+func (sc *SpanContext) Traceparent() string {
+	if sc == nil {
+		return ""
+	}
+	b := make([]byte, 0, 55)
+	b = append(b, '0', '0', '-')
+	b = appendHex(b, sc.Trace[:])
+	b = append(b, '-')
+	b = appendHex(b, sc.Span[:])
+	b = append(b, '-', hexDigits[sc.Flags>>4], hexDigits[sc.Flags&0x0f])
+	return string(b)
+}
+
+// Traceparent parse errors.
+var (
+	errTraceparentLen     = errors.New("obs: traceparent must be 55 bytes (00-<32 hex>-<16 hex>-<2 hex>)")
+	errTraceparentDash    = errors.New("obs: traceparent field separators must be '-'")
+	errTraceparentVersion = errors.New("obs: unsupported traceparent version (only 00)")
+	errTraceparentHex     = errors.New("obs: traceparent IDs must be lowercase hex")
+	errTraceparentZeroID  = errors.New("obs: traceparent trace and span IDs must not be all-zero")
+)
+
+// hexNibble decodes one lowercase hex digit; ok=false otherwise.
+// Uppercase is rejected on purpose: the W3C format mandates lowercase,
+// and accepting both would break the serialize-parse round trip the
+// fuzz target pins.
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+func decodeHex(dst, src []byte) bool {
+	for i := 0; i < len(dst); i++ {
+		hi, ok1 := hexNibble(src[2*i])
+		lo, ok2 := hexNibble(src[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+// ParseTraceparent parses a W3C traceparent header strictly: exactly
+// version 00, lowercase hex, correct field lengths, and non-zero trace
+// and span IDs. The parent span ID is not carried on the wire, so the
+// result has a zero Parent; the caller decides whether the parsed span
+// becomes a parent (Child) or is used as-is.
+func ParseTraceparent(s string) (SpanContext, error) {
+	var sc SpanContext
+	if len(s) != 55 {
+		return SpanContext{}, errTraceparentLen
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, errTraceparentDash
+	}
+	if s[0] != '0' || s[1] != '0' {
+		// Reject every non-00 version, including the forbidden ff:
+		// future versions may legally carry longer payloads, and
+		// guessing at their layout would mis-join traces.
+		return SpanContext{}, errTraceparentVersion
+	}
+	raw := []byte(s)
+	if !decodeHex(sc.Trace[:], raw[3:35]) || !decodeHex(sc.Span[:], raw[36:52]) {
+		return SpanContext{}, errTraceparentHex
+	}
+	hi, ok1 := hexNibble(raw[53])
+	lo, ok2 := hexNibble(raw[54])
+	if !ok1 || !ok2 {
+		return SpanContext{}, errTraceparentHex
+	}
+	sc.Flags = hi<<4 | lo
+	if sc.Trace == (TraceID{}) || sc.Span == (SpanID{}) {
+		return SpanContext{}, errTraceparentZeroID
+	}
+	return sc, nil
+}
+
+// Span-context arg keys recorded on tagged trace events. The critical
+// path analyzer (AnalyzeTraces) and the dashboard's /api/trace join on
+// these.
+const (
+	ArgTraceID  = "trace_id"
+	ArgSpanID   = "span_id"
+	ArgParentID = "parent_span_id"
+)
+
+// tag returns args with the span identity added, copying so the
+// caller's map is never mutated. A nil context returns args unchanged
+// (and allocates nothing).
+func (sc *SpanContext) tag(args map[string]any) map[string]any {
+	if sc == nil {
+		return args
+	}
+	out := make(map[string]any, len(args)+3)
+	for k, v := range args { // copy into a map: key order cannot leak
+		out[k] = v
+	}
+	out[ArgTraceID] = sc.TraceHex()
+	out[ArgSpanID] = sc.SpanHex()
+	if p := sc.ParentHex(); p != "" {
+		out[ArgParentID] = p
+	}
+	return out
+}
+
+// SpanCtx records a complete span tagged with the span context's trace,
+// span and parent IDs (as the trace_id / span_id / parent_span_id
+// args). With a nil context it is exactly Span; with a nil tracer it is
+// a no-op either way.
+func (t *Tracer) SpanCtx(sc *SpanContext, name, cat string, tid int, start time.Time, d time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Span(name, cat, tid, start, d, sc.tag(args))
+}
+
+// InstantCtx records a tagged zero-duration event; nil context falls
+// back to Instant.
+func (t *Tracer) InstantCtx(sc *SpanContext, name, cat string, tid int, at time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Instant(name, cat, tid, at, sc.tag(args))
+}

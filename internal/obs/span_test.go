@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewRootSpanDeterministic(t *testing.T) {
+	a := NewRootSpan(42, "hive-1", 7)
+	b := NewRootSpan(42, "hive-1", 7)
+	if a.Trace != b.Trace || a.Span != b.Span {
+		t.Fatalf("same inputs produced different identities: %v vs %v", a, b)
+	}
+	if a.Flags != 1 {
+		t.Fatalf("root span flags = %#x, want 0x01 (sampled)", a.Flags)
+	}
+	if a.Parent != (SpanID{}) {
+		t.Fatalf("root span must have zero parent, got %x", a.Parent)
+	}
+	// Any input change must move the trace ID.
+	for _, other := range []*SpanContext{
+		NewRootSpan(43, "hive-1", 7),
+		NewRootSpan(42, "hive-2", 7),
+		NewRootSpan(42, "hive-1", 8),
+	} {
+		if other.Trace == a.Trace {
+			t.Fatalf("distinct inputs collided on trace ID %s", a.TraceHex())
+		}
+	}
+}
+
+func TestChildDerivation(t *testing.T) {
+	root := NewRootSpan(1, "hive-1", 0)
+	c1 := root.Child("attempt", 1)
+	c2 := root.Child("attempt", 2)
+	ck := root.Child("backoff", 1)
+	if c1.Trace != root.Trace {
+		t.Fatalf("child changed trace ID")
+	}
+	if c1.Parent != root.Span {
+		t.Fatalf("child parent = %x, want root span %x", c1.Parent, root.Span)
+	}
+	if c1.Span == c2.Span || c1.Span == ck.Span {
+		t.Fatalf("children of distinct (kind,index) must differ")
+	}
+	again := root.Child("attempt", 1)
+	if again.Span != c1.Span {
+		t.Fatalf("child derivation is not pure: %x vs %x", again.Span, c1.Span)
+	}
+	// Grandchildren chain the parent pointer.
+	g := c1.Child("server", 0)
+	if g.Parent != c1.Span || g.Trace != root.Trace {
+		t.Fatalf("grandchild lineage broken")
+	}
+	if (*SpanContext)(nil).Child("x", 0) != nil {
+		t.Fatalf("nil.Child must stay nil")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := NewRootSpan(99, "hive-3", 12)
+	tp := sc.Traceparent()
+	if len(tp) != 55 || !strings.HasPrefix(tp, "00-") {
+		t.Fatalf("bad traceparent %q", tp)
+	}
+	got, err := ParseTraceparent(tp)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", tp, err)
+	}
+	if got.Trace != sc.Trace || got.Span != sc.Span || got.Flags != sc.Flags {
+		t.Fatalf("round trip lost identity: %v vs %v", got, *sc)
+	}
+	if got.Traceparent() != tp {
+		t.Fatalf("re-serialize mismatch: %q vs %q", got.Traceparent(), tp)
+	}
+	if (*SpanContext)(nil).Traceparent() != "" {
+		t.Fatalf("nil traceparent must be empty")
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if _, err := ParseTraceparent(valid); err != nil {
+		t.Fatalf("reference header rejected: %v", err)
+	}
+	bad := map[string]string{
+		"short":        valid[:54],
+		"long":         valid + "0",
+		"version-ff":   "ff" + valid[2:],
+		"version-01":   "01" + valid[2:],
+		"uppercase":    strings.Replace(valid, "4bf", "4BF", 1),
+		"bad-dash":     strings.Replace(valid, "-00f", "_00f", 1),
+		"zero-trace":   "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero-span":    "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"nonhex-flags": valid[:53] + "zz",
+	}
+	for name, s := range bad {
+		if _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted invalid input", name, s)
+		}
+	}
+}
+
+func TestSpanCtxTagsEvents(t *testing.T) {
+	epoch := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	tr := NewTracer(epoch)
+	sc := NewRootSpan(5, "hive-1", 0)
+	child := sc.Child("attempt", 1)
+	args := map[string]any{"hive": "hive-1"}
+	tr.SpanCtx(sc, "wake-up routine", "deployment", TidRoutine, epoch, time.Second, args)
+	tr.SpanCtx(child, "uplink transfer", "net", TidNetwork, epoch, time.Second, nil)
+	tr.SpanCtx(nil, "untraced", "net", TidNetwork, epoch, time.Second, map[string]any{"k": 1})
+
+	if len(args) != 1 {
+		t.Fatalf("SpanCtx mutated the caller's args map: %v", args)
+	}
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	root := ev[0]
+	if root.Args[ArgTraceID] != sc.TraceHex() || root.Args[ArgSpanID] != sc.SpanHex() {
+		t.Fatalf("root span not tagged: %v", root.Args)
+	}
+	if _, ok := root.Args[ArgParentID]; ok {
+		t.Fatalf("root span must not carry a parent ID")
+	}
+	if root.Args["hive"] != "hive-1" {
+		t.Fatalf("caller args lost: %v", root.Args)
+	}
+	att := ev[1]
+	if att.Args[ArgParentID] != sc.SpanHex() || att.Args[ArgTraceID] != sc.TraceHex() {
+		t.Fatalf("child span lineage not tagged: %v", att.Args)
+	}
+	if _, ok := ev[2].Args[ArgTraceID]; ok {
+		t.Fatalf("nil context must leave events untagged")
+	}
+}
+
+func TestStitchAndParseRoundTrip(t *testing.T) {
+	epoch := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	t1 := NewTracer(epoch)
+	t2 := NewTracer(epoch)
+	t1.Span("a", "x", 0, epoch.Add(2*time.Second), time.Second, nil)
+	t1.Span("b", "x", 0, epoch, time.Second, nil)
+	t2.Span("c", "x", 1, epoch.Add(time.Second), time.Second, nil)
+
+	merged := Stitch(t1.Events(), t2.Events())
+	if len(merged) != 3 {
+		t.Fatalf("stitched %d events, want 3", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].TS < merged[i-1].TS {
+			t.Fatalf("stitched events out of order at %d", i)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, merged); err != nil {
+		t.Fatalf("WriteTraceJSON: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("trace JSON invalid")
+	}
+	back, err := ParseTraceJSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseTraceJSON: %v", err)
+	}
+	if len(back) != len(merged) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back), len(merged))
+	}
+	for i := range back {
+		if back[i].Name != merged[i].Name || back[i].TS != merged[i].TS {
+			t.Fatalf("event %d changed in round trip", i)
+		}
+	}
+	// Bare-array form parses too.
+	arr, _ := json.Marshal(merged)
+	back2, err := ParseTraceJSON(arr)
+	if err != nil || len(back2) != len(merged) {
+		t.Fatalf("bare array parse: %v (%d events)", err, len(back2))
+	}
+}
+
+func TestStitchOrderIndependentOfListSplit(t *testing.T) {
+	epoch := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	// Two hives with interleaved, tie-heavy timestamps: stitching the
+	// same per-hive lists must give identical bytes regardless of how
+	// they were produced (simulating different worker counts, which
+	// always merge in hive index order).
+	h1 := NewTracer(epoch)
+	h2 := NewTracer(epoch)
+	for i := 0; i < 5; i++ {
+		at := epoch.Add(time.Duration(i) * time.Second)
+		h1.Span("h1", "x", 0, at, time.Second, nil)
+		h2.Span("h2", "x", 1, at, time.Second, nil)
+	}
+	a := Stitch(h1.Events(), h2.Events())
+	b := Stitch(h1.Events(), h2.Events())
+	var ba, bb bytes.Buffer
+	if err := WriteTraceJSON(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceJSON(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("stitch not deterministic")
+	}
+	// Ties keep list order: h1's event precedes h2's at each instant.
+	for i := 0; i < len(a); i += 2 {
+		if a[i].Name != "h1" || a[i+1].Name != "h2" {
+			t.Fatalf("tie order broken at %d: %s,%s", i, a[i].Name, a[i+1].Name)
+		}
+	}
+}
+
+func BenchmarkSpanStart(b *testing.B) {
+	b.ReportAllocs()
+	var sink *SpanContext
+	for i := 0; i < b.N; i++ {
+		sc := NewRootSpan(42, "hive-1", uint64(i))
+		sink = sc.Child("attempt", 1)
+	}
+	_ = sink
+}

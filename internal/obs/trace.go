@@ -3,7 +3,9 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
@@ -113,6 +115,20 @@ func (t *Tracer) SetThreadName(tid int, name string) {
 	})
 }
 
+// Events returns a copy of the recorded events in recording order.
+// Use it to stitch several tracers' timelines into one file (see
+// Stitch); a nil tracer has no events.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
 // WriteJSON writes the trace in the Chrome trace_event JSON object
 // format. Events appear in recording order; encoding/json sorts arg
 // maps by key, so output bytes are deterministic for a deterministic
@@ -124,11 +140,22 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return writeEventsJSON(w, t.events)
+}
+
+// WriteTraceJSON writes an explicit event list in the same Chrome
+// trace_event JSON object format Tracer.WriteJSON produces, so stitched
+// multi-agent timelines load in Perfetto exactly like single-run ones.
+func WriteTraceJSON(w io.Writer, events []TraceEvent) error {
+	return writeEventsJSON(w, events)
+}
+
+func writeEventsJSON(w io.Writer, events []TraceEvent) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
 		return err
 	}
-	for i, e := range t.events {
+	for i, e := range events {
 		if i > 0 {
 			if err := bw.WriteByte(','); err != nil {
 				return err
@@ -149,4 +176,40 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// ParseTraceJSON reads a Chrome trace file back into its event list, so
+// the critical-path analyzer (and tests) can work offline on exported
+// traces. It accepts both the object format WriteJSON emits and a bare
+// JSON array of events.
+func ParseTraceJSON(data []byte) ([]TraceEvent, error) {
+	var obj struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &obj); err == nil && obj.TraceEvents != nil {
+		return obj.TraceEvents, nil
+	}
+	var events []TraceEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return nil, fmt.Errorf("obs: parse trace: %w", err)
+	}
+	return events, nil
+}
+
+// Stitch merges several event lists — one per agent, hive or process —
+// into a single timeline ordered by timestamp. The sort is stable with
+// list order as the outer key, so stitching per-hive traces in index
+// order yields byte-identical output at any worker count (the same
+// contract internal/parallel's index-ordered merge pins for metrics).
+func Stitch(lists ...[]TraceEvent) []TraceEvent {
+	var n int
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]TraceEvent, 0, n)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
 }

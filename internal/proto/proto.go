@@ -110,6 +110,10 @@ type SensorReport struct {
 	InsideRH     float64   `json:"inside_rh"`
 	OutsideTempC float64   `json:"outside_temp_c"`
 	BatterySoC   float64   `json:"battery_soc"`
+	// Traceparent is the W3C trace-context header of the agent's
+	// wake-up span, empty when the agent runs untraced. omitempty
+	// keeps untraced frames byte-identical to earlier releases.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // AudioUpload describes the raw PCM payload accompanying the frame.
@@ -119,6 +123,10 @@ type AudioUpload struct {
 	SampleRate int       `json:"sample_rate"`
 	// Samples is the PCM sample count in the raw payload.
 	Samples int `json:"samples"`
+	// Traceparent propagates the upload span's W3C trace context so the
+	// server can join its handler span into the same trace; empty (and
+	// absent from the wire) when the agent runs untraced.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // Result is a queen-detection verdict.
@@ -131,6 +139,9 @@ type Result struct {
 	// ComputedAt names the placement that produced the verdict
 	// ("edge" or "cloud").
 	ComputedAt string `json:"computed_at"`
+	// Traceparent echoes the request's trace context (server span for
+	// cloud verdicts), empty on untraced sessions.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // ErrorBody carries a failure description.

@@ -1,0 +1,122 @@
+package report
+
+// Critical-path report for traced campaigns: the top-K slowest uploads
+// with their latency attribution, the aggregate per-segment
+// decomposition, and the exemplar cross-reference tying histogram
+// buckets back to concrete trace IDs. Shared by `hivereport trace` and
+// the root determinism test so both render byte-identical text.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"beesim/internal/obs"
+)
+
+// msFmt renders microseconds as milliseconds with fixed precision so
+// tables line up and output is byte-deterministic.
+func msFmt(us int64) string {
+	return strconv.FormatFloat(float64(us)/1e3, 'f', 3, 64)
+}
+
+// pctFmt renders a ratio as a fixed-precision percentage.
+func pctFmt(r float64) string {
+	return strconv.FormatFloat(100*r, 'f', 1, 64) + "%"
+}
+
+// WriteTraceReport renders the critical-path analysis of a traced
+// campaign: a slowest-uploads table (up to topK rows), the aggregate
+// latency decomposition across all traces, and — when the metrics
+// snapshot carries exemplars — the histogram-to-trace cross-reference.
+// Traces must already be sorted slowest-first, as AnalyzeTraces returns
+// them.
+func WriteTraceReport(w io.Writer, sums []obs.TraceSummary, topK int, snap obs.Snapshot) error {
+	if len(sums) == 0 {
+		_, err := fmt.Fprintln(w, "no traced uploads found")
+		return err
+	}
+	var totalUS int64
+	for _, s := range sums {
+		totalUS += s.TotalUS
+	}
+	if _, err := fmt.Fprintf(w, "traces: %d  end-to-end total: %s ms\n\n",
+		len(sums), msFmt(totalUS)); err != nil {
+		return err
+	}
+
+	if topK > len(sums) {
+		topK = len(sums)
+	}
+	slow := NewTable(fmt.Sprintf("Slowest uploads (top %d)", topK),
+		"trace", "root", "spans", "total (ms)", "covered", "dominant segment")
+	for _, s := range sums[:topK] {
+		dom := "-"
+		if len(s.Segments) > 0 {
+			dom = fmt.Sprintf("%s (%s ms)", s.Segments[0].Name, msFmt(s.Segments[0].US))
+		}
+		slow.MustAddRow(s.TraceID, s.RootName, strconv.Itoa(s.Spans),
+			msFmt(s.TotalUS), pctFmt(s.Coverage()), dom)
+	}
+	if err := slow.Render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+
+	stats := obs.AggregateSegments(sums)
+	agg := NewTable("Latency decomposition by segment",
+		"segment", "traces", "spans", "total (ms)", "p50 (ms)", "p99 (ms)", "share")
+	for _, st := range stats {
+		share := 0.0
+		if totalUS > 0 {
+			share = float64(st.TotalUS) / float64(totalUS)
+		}
+		agg.MustAddRow(st.Name, strconv.Itoa(st.Traces), strconv.Itoa(st.Spans),
+			msFmt(st.TotalUS), msFmt(st.P50US), msFmt(st.P99US), pctFmt(share))
+	}
+	if err := agg.Render(w); err != nil {
+		return err
+	}
+
+	rows := exemplarRows(sums, snap)
+	if len(rows) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	ex := NewTable("Histogram exemplars",
+		"metric", "le", "value", "trace", "analyzed")
+	for _, r := range rows {
+		ex.MustAddRow(r...)
+	}
+	return ex.Render(w)
+}
+
+// exemplarRows flattens the snapshot's histogram exemplars and marks
+// whether each exemplar's trace appears in the analyzed set. Snapshot
+// histograms are name-sorted and per-histogram exemplars are
+// bound-sorted, so the rows are deterministic.
+func exemplarRows(sums []obs.TraceSummary, snap obs.Snapshot) [][]string {
+	known := make(map[string]bool, len(sums))
+	for _, s := range sums {
+		known[s.TraceID] = true
+	}
+	var rows [][]string
+	for _, h := range snap.Histograms {
+		for _, e := range h.Exemplars {
+			analyzed := "no"
+			if known[e.TraceID] {
+				analyzed = "yes"
+			}
+			rows = append(rows, []string{
+				h.Name, e.LE,
+				strconv.FormatFloat(e.Value, 'g', -1, 64),
+				e.TraceID, analyzed,
+			})
+		}
+	}
+	return rows
+}

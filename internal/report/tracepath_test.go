@@ -1,0 +1,80 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"beesim/internal/obs"
+)
+
+func tracedSummaries(t *testing.T) ([]obs.TraceSummary, obs.Snapshot) {
+	t.Helper()
+	epoch := time.Date(2023, 4, 15, 0, 0, 0, 0, time.UTC)
+	tr := obs.NewTracer(epoch)
+	m := obs.NewRegistry()
+	h := m.Histogram("upload_seconds")
+	for i := 0; i < 3; i++ {
+		sc := obs.NewRootSpan(7, "rep-hive", uint64(i))
+		at := epoch.Add(time.Duration(i) * time.Minute)
+		total := time.Duration(4+i) * time.Second
+		tr.SpanCtx(sc.Child("compute", 0), "compute", "edge", obs.TidRoutine,
+			at, 1*time.Second, nil)
+		tr.SpanCtx(sc.Child("upload", 0), "uplink transfer", "net", obs.TidNetwork,
+			at.Add(1*time.Second), total-1*time.Second, nil)
+		tr.SpanCtx(sc, "wake-up cycle", "edge", obs.TidRoutine, at, total, nil)
+		h.ObserveExemplar(total.Seconds(), sc)
+	}
+	sums := obs.AnalyzeTraces(tr.Events())
+	if len(sums) != 3 {
+		t.Fatalf("got %d traces, want 3", len(sums))
+	}
+	return sums, m.Snapshot()
+}
+
+func TestWriteTraceReport(t *testing.T) {
+	sums, snap := tracedSummaries(t)
+	var sb strings.Builder
+	if err := WriteTraceReport(&sb, sums, 2, snap); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"traces: 3",
+		"Slowest uploads (top 2)",
+		"Latency decomposition by segment",
+		"uplink transfer",
+		"compute",
+		"Histogram exemplars",
+		"upload_seconds",
+		sums[0].TraceID,
+		"100.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Slowest-first: the top row is the 6 s trace.
+	if i6, i4 := strings.Index(out, "6000.000"), strings.Index(out, "4000.000"); i6 < 0 || i4 < 0 || i6 > i4 {
+		t.Errorf("slowest trace not first:\n%s", out)
+	}
+
+	// Byte-deterministic render.
+	var sb2 strings.Builder
+	if err := WriteTraceReport(&sb2, sums, 2, snap); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("trace report not deterministic")
+	}
+}
+
+func TestWriteTraceReportEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTraceReport(&sb, nil, 5, obs.Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no traced uploads") {
+		t.Errorf("empty report = %q", sb.String())
+	}
+}

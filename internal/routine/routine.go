@@ -113,17 +113,29 @@ func (c Cycle) Duration() time.Duration {
 // I/II as a timeline — load the JSON in Perfetto to see the shutdown
 // split of the edge+cloud scenario. A nil tracer is a no-op.
 func (c Cycle) Trace(tr *obs.Tracer, start time.Time) {
-	traceTasks(tr, "edge", obs.TidRoutine, start, c.EdgeTasks)
-	traceTasks(tr, "cloud", obs.TidServer, start, c.CloudTasks)
+	c.TraceCtx(tr, start, nil)
 }
 
-func traceTasks(tr *obs.Tracer, cat string, tid int, start time.Time, tasks []power.Task) {
+// TraceCtx is Trace with span identity: each task span becomes a child
+// of sc (kinds "edge"/"cloud", indexed by task position) so the whole
+// wake-up joins one causal trace. A nil sc is exactly Trace.
+func (c Cycle) TraceCtx(tr *obs.Tracer, start time.Time, sc *obs.SpanContext) {
+	traceTasks(tr, "edge", obs.TidRoutine, start, c.EdgeTasks, sc)
+	traceTasks(tr, "cloud", obs.TidServer, start, c.CloudTasks, sc)
+}
+
+func traceTasks(tr *obs.Tracer, cat string, tid int, start time.Time, tasks []power.Task, sc *obs.SpanContext) {
 	at := start
-	for _, t := range tasks {
-		tr.Span(t.Name, cat, tid, at, t.Duration, map[string]any{
+	for i, t := range tasks {
+		args := map[string]any{
 			"joules": float64(t.Energy),
 			"watts":  float64(t.Power()),
-		})
+		}
+		if sc != nil {
+			tr.SpanCtx(sc.Child(cat, uint64(i)), t.Name, cat, tid, at, t.Duration, args)
+		} else {
+			tr.Span(t.Name, cat, tid, at, t.Duration, args)
+		}
 		at = at.Add(t.Duration)
 	}
 }
