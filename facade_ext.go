@@ -142,6 +142,7 @@ type (
 
 // NewCloudServer trains the service model and binds a listener.
 func NewCloudServer(addr string, cfg CloudServerConfig) (*CloudServer, error) {
+	//beelint:allow walltime live TCP service facade; uptime anchors to real time, not des.Sim
 	return hivenet.NewServer(addr, cfg)
 }
 

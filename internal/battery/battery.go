@@ -61,12 +61,14 @@ type Battery struct {
 	totalOut  units.Joules
 	cutoffs   int
 	brownouts int
+	dumpErrs  int
 
 	// Observability probes; all nil-safe no-ops until Instrument.
 	mChargeJ    *obs.Counter
 	mDischargeJ *obs.Counter
 	mCutoffs    *obs.Counter
 	mBrownouts  *obs.Counter
+	mDumpErrs   *obs.Counter
 	reg         *obs.Registry
 	gSoC        *obs.Gauge
 	tr          *obs.Tracer
@@ -85,6 +87,7 @@ const (
 	MetricDischargeJ = "battery_discharge_j_total"
 	MetricCutoffs    = "battery_cutoffs_total"
 	MetricBrownouts  = "battery_brownouts_total"
+	MetricDumpErrs   = "battery_trip_dump_errors_total"
 	MetricSoC        = "battery_soc"
 )
 
@@ -198,6 +201,9 @@ func (b *Battery) Cutoffs() int { return b.cutoffs }
 // Brownouts returns how many injected brownout windows the pack
 // entered.
 func (b *Battery) Brownouts() int { return b.brownouts }
+
+// TripDumpErrs returns how many cutoff flight-recorder dumps failed.
+func (b *Battery) TripDumpErrs() int { return b.dumpErrs }
 
 // SetBrownout opens (active=true) or closes the injected bus-brownout
 // switch: while open the pack delivers nothing, as if the output
@@ -330,7 +336,21 @@ func (b *Battery) openProtection() {
 				map[string]any{"soc": b.SoC()})
 		}
 		if b.lg != nil {
-			_ = b.lg.Trip(fmt.Sprintf("battery cutoff hive=%q soc=%.4f", b.lgHive, b.SoC()))
+			if err := b.lg.Trip(fmt.Sprintf("battery cutoff hive=%q soc=%.4f", b.lgHive, b.SoC())); err != nil {
+				// A failed flight-recorder dump means the cutoff evidence
+				// is gone; count it so audits can see the hole.
+				b.dumpErrs++
+				if b.reg != nil {
+					if b.mDumpErrs == nil {
+						b.mDumpErrs = b.reg.Counter(MetricDumpErrs)
+					}
+					b.mDumpErrs.Inc()
+				}
+				if b.tr != nil {
+					b.tr.Instant("battery trip dump failed", "battery", obs.TidPower, b.clock(),
+						map[string]any{"err": err.Error()})
+				}
+			}
 		}
 	}
 }

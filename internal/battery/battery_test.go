@@ -2,6 +2,7 @@ package battery
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"beesim/internal/ledger"
+	"beesim/internal/obs"
 	"beesim/internal/rng"
 	"beesim/internal/units"
 )
@@ -300,5 +302,43 @@ func TestLedgerTripsOnCutoff(t *testing.T) {
 	}
 	if !strings.Contains(dump.String(), "battery cutoff") {
 		t.Fatalf("dump missing cutoff reason: %q", dump.String())
+	}
+	if b.TripDumpErrs() != 0 {
+		t.Fatalf("dump errors = %d, want 0", b.TripDumpErrs())
+	}
+}
+
+// failWriter rejects every write, standing in for a full disk under
+// the flight recorder.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+// TestTripDumpErrorCounted arms the flight recorder with a writer that
+// always fails: the cutoff must still open protection, and the failed
+// dump must be counted — in the accessor and the metric — instead of
+// vanishing.
+func TestTripDumpErrorCounted(t *testing.T) {
+	b := mustNew(t, 0.06)
+	reg := obs.NewRegistry()
+	b.Instrument(reg, nil, func() time.Time { return t0 })
+	lg, err := ledger.NewRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.AutoDump(failWriter{})
+	b.AttachLedger(lg, "h", func() time.Time { return t0 })
+	b.Discharge(10, 24*time.Hour)
+	if b.Cutoffs() != 1 {
+		t.Fatalf("cutoffs = %d, want 1", b.Cutoffs())
+	}
+	if lg.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", lg.Trips())
+	}
+	if b.TripDumpErrs() != 1 {
+		t.Fatalf("dump errors = %d, want 1", b.TripDumpErrs())
+	}
+	if got := reg.Counter(MetricDumpErrs).Value(); got != 1 {
+		t.Fatalf("%s = %v, want 1", MetricDumpErrs, got)
 	}
 }

@@ -337,3 +337,21 @@ func TestArchivePersistsToDisk(t *testing.T) {
 		t.Fatalf("persisted verdict = %+v, %v", rec, ok)
 	}
 }
+
+// TestListenFailureClosesArchive hands NewServer an unlistenable
+// address: the freshly opened archive must be closed (and its file left
+// reusable) rather than leaked with the error.
+func TestListenFailureClosesArchive(t *testing.T) {
+	cfg := DefaultServerConfig()
+	cfg.ArchivePath = filepath.Join(t.TempDir(), "apiary.log")
+	if _, err := NewServer("127.0.0.1", cfg); err == nil { // no port: Listen must fail
+		t.Fatal("NewServer on a portless address succeeded")
+	}
+	re, err := store.Open(cfg.ArchivePath)
+	if err != nil {
+		t.Fatalf("archive unusable after failed start: %v", err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

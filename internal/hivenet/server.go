@@ -167,7 +167,9 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		if cfg.ArchivePath != "" {
-			archive.Close()
+			if cerr := archive.Close(); cerr != nil {
+				err = errors.Join(err, fmt.Errorf("hivenet: closing archive: %w", cerr))
+			}
 		}
 		return nil, err
 	}

@@ -10,32 +10,116 @@ package lint
 // counts where the error is provably below the audit tolerance).
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 type accumVisitor struct {
-	pass   *Pass
-	inLoop bool
+	pass *Pass
+	file *ast.File
+	// loop is the innermost enclosing for/range statement, nil at the
+	// top level.
+	loop ast.Stmt
 }
 
 func (v *accumVisitor) Visit(n ast.Node) ast.Visitor {
 	switch s := n.(type) {
-	case *ast.ForStmt, *ast.RangeStmt:
-		return &accumVisitor{pass: v.pass, inLoop: true}
+	case *ast.ForStmt:
+		return &accumVisitor{pass: v.pass, file: v.file, loop: s}
+	case *ast.RangeStmt:
+		return &accumVisitor{pass: v.pass, file: v.file, loop: s}
 	case *ast.AssignStmt:
-		if !v.inLoop || s.Tok != token.ADD_ASSIGN || len(s.Lhs) != 1 {
+		if v.loop == nil || s.Tok != token.ADD_ASSIGN || len(s.Lhs) != 1 {
 			break
 		}
 		named, ok := unitsType(v.pass.Pkg.Info.TypeOf(s.Lhs[0]))
 		if !ok || named.Obj().Name() != "Joules" {
 			break
 		}
-		v.pass.Reportf(s.Pos(),
+		v.pass.ReportFixf(s.Pos(), accumFix(v.pass, v.file, v.loop, s, named),
 			"+= on units.Joules inside a loop loses precision as the total grows; "+
 				"accumulate through stats.Kahan (compensated summation)")
 	}
 	return v
+}
+
+// accumFix builds the compensated-summation rewrite: a stats.Kahan
+// accumulator declared before the loop collects the quanta, and the
+// original total receives one rounded add after it. Nil when the loop
+// holds more than one Joules accumulation (the declarations would
+// collide) or required names are taken.
+func accumFix(p *Pass, file *ast.File, loop ast.Stmt, s *ast.AssignStmt, joules *types.Named) *Fix {
+	if countJoulesAccums(p, loop) != 1 {
+		return nil
+	}
+	if rootIdent(s.Lhs[0]) == nil {
+		return nil
+	}
+	statsPath := modulePrefix(joules.Obj().Pkg().Path()) + "/internal/stats"
+	if !nameFreeAt(p.Pkg, loop.Pos(), "acc", "") || !nameFreeAt(p.Pkg, loop.Pos(), "stats", statsPath) {
+		return nil
+	}
+	qual, ok := joulesQualifier(p, file, joules)
+	if !ok {
+		return nil
+	}
+	lhs := types.ExprString(s.Lhs[0])
+	rhs := types.ExprString(s.Rhs[0])
+	return &Fix{
+		Edits: []FixEdit{
+			{Pos: loop.Pos(), End: loop.Pos(), New: "var acc stats.Kahan\n"},
+			{Pos: s.Pos(), End: s.End(), New: fmt.Sprintf("acc.Add(float64(%s))", rhs)},
+			{Pos: loop.End(), End: loop.End(), New: fmt.Sprintf("\n%s += %s(acc.Sum())", lhs, qual)},
+		},
+		Imports: []FixImport{{Path: statsPath}},
+	}
+}
+
+// countJoulesAccums counts the += statements onto units.Joules directly
+// inside loop (nested loops report on their own).
+func countJoulesAccums(p *Pass, loop ast.Stmt) int {
+	n := 0
+	ast.Inspect(loop, func(node ast.Node) bool {
+		if node != loop {
+			switch node.(type) {
+			case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+				return false
+			}
+		}
+		if s, ok := node.(*ast.AssignStmt); ok && s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
+			if named, ok := unitsType(p.Pkg.Info.TypeOf(s.Lhs[0])); ok && named.Obj().Name() == "Joules" {
+				n++
+			}
+		}
+		return true
+	})
+	return n
+}
+
+// joulesQualifier renders the conversion back to the units type as the
+// file refers to it: "Joules" inside the defining package, or
+// "<localname>.Joules" through the file's import of it.
+func joulesQualifier(p *Pass, file *ast.File, joules *types.Named) (string, bool) {
+	if joules.Obj().Pkg() == p.Pkg.Types {
+		return joules.Obj().Name(), true
+	}
+	for _, imp := range file.Imports {
+		path := importPathOf(imp)
+		if path != joules.Obj().Pkg().Path() {
+			continue
+		}
+		name := joules.Obj().Pkg().Name()
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "." || name == "_" {
+			return "", false
+		}
+		return name + "." + joules.Obj().Name(), true
+	}
+	return "", false
 }
 
 var analyzerAccumFloat = &Analyzer{
@@ -43,7 +127,7 @@ var analyzerAccumFloat = &Analyzer{
 	Doc:  "naive += Joules accumulation in loops (use compensated summation)",
 	Run: func(p *Pass) {
 		for _, f := range p.Pkg.Files {
-			ast.Walk(&accumVisitor{pass: p}, f)
+			ast.Walk(&accumVisitor{pass: p, file: f}, f)
 		}
 	},
 }

@@ -1,0 +1,106 @@
+package lint
+
+// The ratchet. A lint gate that can only be adopted on a perfectly
+// clean tree never gets adopted; one that silently tolerates existing
+// debt never pays it down. The baseline file is the middle path: a
+// checked-in inventory of currently-accepted findings, keyed by
+// (file, check) with a count. CI fails on anything beyond the
+// baseline — new debt is impossible — while stale entries (fixed debt
+// the file still lists) are reported so the baseline only ever
+// shrinks. Regenerate with beelint -write-baseline after paying debt.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry accepts Count findings of one check in one file.
+type BaselineEntry struct {
+	File  string `json:"file"`
+	Check string `json:"check"`
+	Count int    `json:"count"`
+}
+
+// Baseline is the persisted ratchet state.
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// NewBaseline inventories findings into a baseline, sorted for stable
+// serialization. Findings must carry module-relative paths so the file
+// is checkout-independent.
+func NewBaseline(findings []Finding) *Baseline {
+	counts := make(map[[2]string]int)
+	for _, f := range findings {
+		counts[[2]string{f.File, f.Check}]++
+	}
+	b := &Baseline{Version: 1, Entries: []BaselineEntry{}}
+	for key, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{File: key[0], Check: key[1], Count: n})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		return a.Check < c.Check
+	})
+	return b
+}
+
+// LoadBaseline reads a baseline file. A missing file is not an error:
+// it loads as the empty baseline, the strictest possible ratchet.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1, Entries: []BaselineEntry{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s has unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Write persists the baseline as indented JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Diff splits findings against the baseline: fresh findings exceed the
+// accepted count for their (file, check) key and must fail the build;
+// stale entries accept findings that no longer occur and should be
+// ratcheted out of the file.
+func (b *Baseline) Diff(findings []Finding) (fresh []Finding, stale []BaselineEntry) {
+	allowed := make(map[[2]string]int, len(b.Entries))
+	for _, e := range b.Entries {
+		allowed[[2]string{e.File, e.Check}] = e.Count
+	}
+	seen := make(map[[2]string]int)
+	for _, f := range findings {
+		key := [2]string{f.File, f.Check}
+		seen[key]++
+		if seen[key] > allowed[key] {
+			fresh = append(fresh, f)
+		}
+	}
+	for _, e := range b.Entries {
+		if seen[[2]string{e.File, e.Check}] < e.Count {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

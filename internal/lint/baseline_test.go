@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkFinding(file, check string, line int) Finding {
+	return Finding{File: file, Check: check, Line: line, Col: 1, Msg: "m"}
+}
+
+func TestBaselineDiff(t *testing.T) {
+	findings := []Finding{
+		mkFinding("a.go", "walltime", 3),
+		mkFinding("a.go", "walltime", 9),
+		mkFinding("b.go", "errdrop", 4),
+	}
+	base := NewBaseline([]Finding{
+		mkFinding("a.go", "walltime", 3), // one accepted, second is fresh
+		mkFinding("c.go", "maprange", 1), // paid off: stale
+	})
+	fresh, stale := base.Diff(findings)
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %v, want 2 (a.go walltime #2, b.go errdrop)", fresh)
+	}
+	if fresh[0].File != "a.go" || fresh[1].File != "b.go" {
+		t.Errorf("fresh = %v", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "c.go" {
+		t.Errorf("stale = %v, want the paid-off c.go entry", stale)
+	}
+}
+
+func TestBaselineEmptyIsStrict(t *testing.T) {
+	base, err := LoadBaseline(filepath.Join(t.TempDir(), "missing.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := base.Diff([]Finding{mkFinding("a.go", "walltime", 1)})
+	if len(fresh) != 1 || len(stale) != 0 {
+		t.Fatalf("fresh=%v stale=%v; empty baseline must reject everything", fresh, stale)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		mkFinding("b.go", "errdrop", 4),
+		mkFinding("a.go", "walltime", 3),
+		mkFinding("a.go", "walltime", 9),
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := NewBaseline(findings).Write(path); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Entries) != 2 {
+		t.Fatalf("entries = %v, want 2", base.Entries)
+	}
+	if base.Entries[0].File != "a.go" || base.Entries[0].Count != 2 {
+		t.Errorf("entries not sorted/counted: %v", base.Entries)
+	}
+	fresh, stale := base.Diff(findings)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("round trip not neutral: fresh=%v stale=%v", fresh, stale)
+	}
+	// Serialization is byte-stable: writing the loaded baseline again
+	// reproduces the file.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2 := filepath.Join(t.TempDir(), "base2.json")
+	if err := base.Write(path2); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Errorf("baseline serialization unstable:\n%s\nvs\n%s", data, data2)
+	}
+}
+
+func TestSARIF(t *testing.T) {
+	findings := []Finding{
+		mkFinding("internal/a/a.go", "walltime", 3),
+		mkFinding("internal/b/b.go", "errdrop", 7),
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "beelint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Every analyzer (plus the directive pseudo-check) is a rule, and
+	// every finding's check resolves to one.
+	rules := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	if want := len(Analyzers()) + 1; len(rules) != want {
+		t.Errorf("rules = %d, want %d", len(rules), want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	for i, r := range run.Results {
+		if !rules[r.RuleID] {
+			t.Errorf("result %d ruleId %q has no rule", i, r.RuleID)
+		}
+	}
+	if uri := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/a/a.go" {
+		t.Errorf("uri = %q", uri)
+	}
+	if line := run.Results[1].Locations[0].PhysicalLocation.Region.StartLine; line != 7 {
+		t.Errorf("startLine = %d, want 7", line)
+	}
+	if strings.Contains(buf.String(), "\\u") {
+		t.Logf("note: non-ASCII escapes present (fine, just informational)")
+	}
+	// Determinism: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteSARIF(&buf2, findings); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("SARIF output differs between renders")
+	}
+}

@@ -48,6 +48,35 @@ func (s *suppressor) suppressed(f Finding) bool {
 	return lines[f.Line][f.Check] || lines[f.Line-1][f.Check]
 }
 
+// ParseDirective classifies one comment's text as a //beelint:allow
+// directive against the known check set. It returns the allowed check
+// name when the directive is well-formed (ok true); a non-empty
+// problem when the text is a malformed directive that deserves a
+// "directive" finding; and ("", false, "") when the text is not a
+// beelint directive at all. Exported for the fuzz harness: the parser
+// must hold these invariants (and not panic) on arbitrary input.
+func ParseDirective(text string, known map[string]bool) (check string, ok bool, problem string) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", false, ""
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //beelint:allowance — not ours.
+		return "", false, ""
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", false, "malformed //beelint:allow: missing check name and reason"
+	}
+	if !known[fields[0]] {
+		return "", false, "//beelint:allow names unknown check " + strconv.Quote(fields[0])
+	}
+	if len(fields) < 2 {
+		return "", false, "//beelint:allow " + fields[0] + ": a reason is mandatory"
+	}
+	return fields[0], true, ""
+}
+
 // parseDirectives scans every comment in the package for
 // //beelint:allow directives, returning the suppression index and any
 // findings about malformed directives.
@@ -62,33 +91,16 @@ func parseDirectives(pkg *Package, fset *token.FileSet) (*suppressor, []Finding)
 		pkgLine := fset.Position(f.Package).Line
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, directivePrefix) {
+				check, ok, problem := ParseDirective(c.Text, known)
+				if !ok && problem == "" {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				report := func(msg string) {
+				if problem != "" {
 					findings = append(findings, Finding{
 						File: pos.Filename, Line: pos.Line, Col: pos.Column,
-						Check: "directive", Msg: msg,
+						Check: "directive", Msg: problem,
 					})
-				}
-				rest := strings.TrimPrefix(c.Text, directivePrefix)
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					// e.g. //beelint:allowance — not ours.
-					continue
-				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					report("malformed //beelint:allow: missing check name and reason")
-					continue
-				}
-				check := fields[0]
-				if !known[check] {
-					report("//beelint:allow names unknown check " + strconv.Quote(check))
-					continue
-				}
-				if len(fields) < 2 {
-					report("//beelint:allow " + check + ": a reason is mandatory")
 					continue
 				}
 				endLine := fset.Position(c.End()).Line

@@ -1,0 +1,136 @@
+package lint
+
+// exhaustive: the repo leans on closed enum sets — ledger.Direction,
+// routine.Placement, proto.Type, store.Kind, … — and dispatches on
+// them with switch statements. A switch that silently falls through
+// when a new constant is added is how a new fault kind ships without
+// ledger accounting, or a new frame type gets dropped on the floor.
+//
+// The rule: a switch over a module-declared named type with a closed
+// constant set (two or more package-level constants of exactly that
+// type in its defining package) must either cover every constant or
+// carry a default clause. The default is the audit — it is where the
+// author decides what an unknown value means (usually an error).
+// Switches missing both are findings, listing the uncovered constants
+// by name.
+//
+// Only module types count (the defining package shares the module's
+// first path segment with the package under analysis), so switches
+// over stdlib types like reflect.Kind are never flagged.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// enumSet returns the package-level constants of exactly type named,
+// keyed by their constant value's string form, or nil when named is
+// not a closed module enum relative to fromPkg.
+func enumSet(named *types.Named, fromPkg *Package) map[string]*types.Const {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return nil
+	}
+	if !sameModuleTree(obj.Pkg().Path(), fromPkg.Path) {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	consts := make(map[string]*types.Const)
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		consts[c.Val().ExactString()] = c
+	}
+	if len(consts) < 2 {
+		return nil
+	}
+	return consts
+}
+
+// sameModuleTree reports whether two import paths share their first
+// segment — the module-path-independent way to tell "declared in this
+// module" (beesim/... vs beesim/..., fixture/... vs fixture/...) from
+// stdlib or foreign types.
+func sameModuleTree(a, b string) bool {
+	cut := func(p string) string {
+		if i := strings.IndexByte(p, '/'); i >= 0 {
+			return p[:i]
+		}
+		return p
+	}
+	return cut(a) == cut(b)
+}
+
+var analyzerExhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over closed module enum sets must cover every constant or carry a default",
+	Run: func(p *Pass) {
+		info := p.Pkg.Info
+		inspectFiles(p, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := info.TypeOf(sw.Tag)
+			if tagType == nil {
+				return true
+			}
+			named, ok := types.Unalias(tagType).(*types.Named)
+			if !ok {
+				return true
+			}
+			consts := enumSet(named, p.Pkg)
+			if consts == nil {
+				return true
+			}
+			covered := make(map[string]bool)
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					tv, ok := info.Types[e]
+					if !ok || tv.Value == nil {
+						// A non-constant case expression makes coverage
+						// undecidable; treat it like a default.
+						hasDefault = true
+						continue
+					}
+					covered[tv.Value.ExactString()] = true
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for key, c := range consts {
+				if !covered[key] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			sort.Strings(missing)
+			p.Reportf(sw.Pos(),
+				"switch over %s.%s is missing cases %s and has no default; "+
+					"cover every constant or add an audited default",
+				named.Obj().Pkg().Name(), named.Obj().Name(), strings.Join(missing, ", "))
+			return true
+		})
+	},
+}

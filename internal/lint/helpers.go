@@ -4,7 +4,9 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strconv"
 	"strings"
 )
 
@@ -68,4 +70,41 @@ func inspectFiles(p *Pass, fn func(ast.Node) bool) {
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, fn)
 	}
+}
+
+// importPathOf unquotes an import spec's path, returning "" on
+// malformed source (which would not have type-checked anyway).
+func importPathOf(imp *ast.ImportSpec) string {
+	path, err := strconv.Unquote(imp.Path.Value)
+	if err != nil {
+		return ""
+	}
+	return path
+}
+
+// modulePrefix returns the first segment of an import path — the
+// module-path-independent way fix builders derive sibling import paths
+// ("beesim/internal/units" -> "beesim" -> "beesim/internal/stats").
+func modulePrefix(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// nameFreeAt reports whether name is unbound at pos, or bound to a
+// package named by importing wantPath — the two situations where a fix
+// may introduce a reference to it. Anything else (a local variable
+// shadowing "sort", a different package under the name) vetoes the fix.
+func nameFreeAt(pkg *Package, pos token.Pos, name, wantPath string) bool {
+	scope := pkg.Types.Scope().Innermost(pos)
+	if scope == nil {
+		scope = pkg.Types.Scope()
+	}
+	_, obj := scope.LookupParent(name, pos)
+	if obj == nil {
+		return true
+	}
+	pn, ok := obj.(*types.PkgName)
+	return ok && pn.Imported().Path() == wantPath
 }

@@ -10,17 +10,27 @@
 // Watts. beelint turns each of those into a build failure.
 //
 // The suite is pure standard library (go/parser + go/types + a source
-// importer); it type-checks every package in the module and runs six
+// importer); it type-checks every package in the module and runs nine
 // analyzers:
 //
-//	walltime     wall-clock reads outside real-I/O code
-//	unseededrand math/rand and crypto/rand imports outside internal/rng
-//	maprange     map iteration feeding slices, output or the ledger
-//	unitcast     float64 casts mixing distinct units types, and bare
-//	             constants passed where a units type is expected
-//	gostmt       goroutines outside internal/parallel, and concurrency
-//	             (goroutines or parallel.* calls) inside DES handlers
-//	accumfloat   naive += Joules accumulation in loops
+//	walltime      wall-clock reads outside real-I/O code
+//	unseededrand  math/rand and crypto/rand imports outside internal/rng
+//	maprange      map iteration feeding slices, output or the ledger
+//	unitcast      float64 casts mixing distinct units types, and bare
+//	              constants passed where a units type is expected
+//	gostmt        goroutines outside internal/parallel, and concurrency
+//	              (goroutines or parallel.* calls) inside DES handlers
+//	accumfloat    naive += Joules accumulation in loops
+//	sharedcapture parallel.Map task closures writing captured state
+//	exhaustive    non-exhaustive switches over local enum types
+//	errdrop       discarded errors on the ledger/store write path
+//
+// On top of the per-package passes, RunModule's interprocedural mode
+// (interproc.go) builds a module-wide call graph and traces
+// walltime/unseededrand/maprange violations through helper functions
+// and across package boundaries, reporting the first unannotated
+// cross-package caller with the full call chain. Some findings carry
+// mechanical fixes (fix.go) applied by beelint -fix.
 //
 // Findings can be suppressed — with a mandatory reason — by
 // //beelint:allow directives (see directive.go). docs/LINTING.md is the
@@ -45,6 +55,10 @@ type Finding struct {
 	Check string `json:"check"`
 	// Msg is the human-readable diagnosis.
 	Msg string `json:"msg"`
+	// Fixable reports whether Fix carries a mechanical rewrite.
+	Fixable bool `json:"fixable,omitempty"`
+	// Fix is the suggested rewrite, applied by beelint -fix.
+	Fix *Fix `json:"-"`
 }
 
 // String formats the finding in the conventional file:line:col style.
@@ -82,6 +96,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFixf records a finding at pos carrying a mechanical rewrite
+// for beelint -fix. A nil fix degrades to a plain Reportf.
+func (p *Pass) ReportFixf(pos token.Pos, fix *Fix, format string, args ...any) {
+	p.Reportf(pos, format, args...)
+	if fix != nil {
+		f := &(*p.findings)[len(*p.findings)-1]
+		f.Fixable = true
+		f.Fix = fix
+	}
+}
+
 // Analyzers returns the full suite in a fixed order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -91,6 +116,9 @@ func Analyzers() []*Analyzer {
 		analyzerUnitCast,
 		analyzerGoStmt,
 		analyzerAccumFloat,
+		analyzerSharedCapture,
+		analyzerExhaustive,
+		analyzerErrDrop,
 	}
 }
 
@@ -131,6 +159,29 @@ func (r *Runner) RunPackage(pkg *Package, fset *token.FileSet) []Finding {
 		}
 	}
 	return SortFindings(kept)
+}
+
+// ModuleOptions steers RunModule.
+type ModuleOptions struct {
+	// Interprocedural enables the module-wide call-graph pass
+	// (cross-package taint and sink summaries). Disabling it restores
+	// the v1 file-local behavior — useful for measuring exactly what
+	// the whole-program analysis buys.
+	Interprocedural bool
+}
+
+// RunModule runs the per-package suite over every package and then, if
+// enabled, the interprocedural pass over the whole set. root is the
+// directory chain positions inside messages are rendered relative to.
+func (r *Runner) RunModule(pkgs []*Package, fset *token.FileSet, root string, opts ModuleOptions) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		all = append(all, r.RunPackage(pkg, fset)...)
+	}
+	if opts.Interprocedural {
+		all = append(all, NewModule(pkgs, fset, root).InterproceduralFindings()...)
+	}
+	return SortFindings(all)
 }
 
 // SortFindings orders findings by (file, line, col, check, msg) so the

@@ -133,25 +133,100 @@ func TestFixtures(t *testing.T) {
 	cases := []struct {
 		name       string
 		importPath string
+		// deps are fixture packages checked first so the case's imports
+		// resolve from the loader cache (dir then import path).
+		deps [][2]string
 	}{
-		{"walltime", "fixture/walltime"},
-		{"proffixture", "fixture/internal/prof"},
-		{"unseededrand", "fixture/unseededrand"},
-		{"rngself", "fixture/internal/rng"},
-		{"maprange", "fixture/maprange"},
-		{"unitcast", "fixture/unitcast"},
-		{"gostmt", "fixture/gostmt"},
-		{"parallelpkg", "fixture/internal/parallel"},
-		{"accumfloat", "fixture/accumfloat"},
-		{"suppress", "fixture/suppress"},
-		{"suppressfile", "fixture/suppressfile"},
+		{"walltime", "fixture/walltime", nil},
+		{"proffixture", "fixture/internal/prof", nil},
+		{"unseededrand", "fixture/unseededrand", nil},
+		{"rngself", "fixture/internal/rng", nil},
+		{"maprange", "fixture/maprange", nil},
+		{"unitcast", "fixture/unitcast", nil},
+		{"gostmt", "fixture/gostmt", nil},
+		{"parallelpkg", "fixture/internal/parallel", nil},
+		{"accumfloat", "fixture/accumfloat", nil},
+		{"suppress", "fixture/suppress", nil},
+		{"suppressfile", "fixture/suppressfile", nil},
+		{"sharedcapture", "fixture/sharedcapture", nil},
+		{"exhaustive", "fixture/exhaustive", nil},
+		{"ledgerpkg", "fixture/internal/ledger", nil},
+		{"errdrop", "fixture/errdrop", [][2]string{{"ledgerpkg", "fixture/internal/ledger"}}},
 	}
 	l := sharedLoader(t)
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
+			for _, d := range tc.deps {
+				if _, err := l.Check(fixtureDir(t, d[0]), d[1]); err != nil {
+					t.Fatalf("check dep %s: %v", d[0], err)
+				}
+			}
 			fs := runFixture(t, l, tc.name, tc.importPath)
 			diffKeys(t, tc.name, findingKeys(fs), parseWants(t, fixtureDir(t, tc.name)), fs)
 		})
+	}
+}
+
+// interprocFixtures checks the multi-package interprocedural fixture
+// tree, deepest-first, and returns the packages.
+func interprocFixtures(t *testing.T, l *Loader) []*Package {
+	t.Helper()
+	var pkgs []*Package
+	for _, d := range [][2]string{
+		{"interproc/prof", "fixture/ip/internal/prof"},
+		{"interproc/mid", "fixture/ip/mid"},
+		{"interproc/randsrc", "fixture/ip/randsrc"},
+		{"interproc/sink", "fixture/ip/sink"},
+		{"interproc/sim", "fixture/ip/sim"},
+	} {
+		pkg, err := l.Check(fixtureDir(t, d[0]), d[1])
+		if err != nil {
+			t.Fatalf("check %s: %v", d[0], err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+// TestInterprocedural pins the module-wide pass end to end: the
+// laundered wall-clock read, the audited randomness source, and the
+// transitive print sink are each invisible to the file-local pass and
+// reported — with full call-chain traces — by the interprocedural one.
+func TestInterprocedural(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs := interprocFixtures(t, l)
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A: file-local only. Every audited hop is quiet, so the corpus is
+	// clean — proving the findings below need the whole-program view.
+	local := NewRunner().RunModule(pkgs, l.Fset, root, ModuleOptions{})
+	for _, f := range local {
+		t.Errorf("file-local pass should be clean, got %s", f)
+	}
+
+	// B: interprocedural. The wants in interproc/sim fire.
+	full := NewRunner().RunModule(pkgs, l.Fset, root, ModuleOptions{Interprocedural: true})
+	var want []string
+	for _, dir := range []string{"interproc/prof", "interproc/mid", "interproc/randsrc", "interproc/sink", "interproc/sim"} {
+		want = append(want, parseWants(t, fixtureDir(t, dir))...)
+	}
+	sort.Strings(want)
+	diffKeys(t, "interproc", findingKeys(full), want, full)
+
+	// The walltime finding must carry the two-hop chain down to the
+	// clock read.
+	const chain = "sim.Run -> mid.Helper -> prof.Stamp -> time.Now"
+	found := false
+	for _, f := range full {
+		if f.Check == "walltime" && strings.Contains(f.Msg, chain) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no walltime finding carries chain %q; findings: %v", chain, full)
 	}
 }
 
@@ -210,9 +285,10 @@ func TestFindingsDeterministic(t *testing.T) {
 	}
 }
 
-// TestModuleClean runs the full analyzer suite over the real module:
-// the tree must stay free of unsuppressed findings, which is the same
-// bar make verify enforces through cmd/beelint.
+// TestModuleClean runs the full analyzer suite — interprocedural pass
+// included — over the real module: the tree must stay free of
+// unsuppressed findings, which is the same bar make verify enforces
+// through cmd/beelint.
 func TestModuleClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-module type check is slow; run without -short")
@@ -225,12 +301,80 @@ func TestModuleClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	r := NewRunner()
-	var all []Finding
-	for _, pkg := range pkgs {
-		all = append(all, r.RunPackage(pkg, l.Fset)...)
-	}
+	all := NewRunner().RunModule(pkgs, l.Fset, l.Root, ModuleOptions{Interprocedural: true})
 	for _, f := range all {
 		t.Errorf("module not lint-clean: %s", f)
+	}
+}
+
+// TestFixCorpus pins the -fix contract on the golden corpus: every
+// corpus finding carries a fix, the fixed bytes match the .golden
+// files, the fixed package re-lints clean, and a second fix pass has
+// nothing to do (idempotency).
+func TestFixCorpus(t *testing.T) {
+	l := sharedLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "fix", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Check(dir, "beesim/fixcorpus")
+	if err != nil {
+		t.Fatalf("check corpus: %v", err)
+	}
+	findings := NewRunner().RunPackage(pkg, l.Fset)
+	if len(findings) != 3 {
+		t.Fatalf("corpus findings = %d, want 3: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if !f.Fixable || f.Fix == nil {
+			t.Errorf("corpus finding not fixable: %s", f)
+		}
+	}
+
+	fx := &Fixer{Fset: l.Fset}
+	results, err := fx.Apply(findings)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("fixed files = %d, want 3", len(results))
+	}
+	fixedDir := t.TempDir()
+	for _, r := range results {
+		name := filepath.Base(r.File)
+		golden := r.File + ".golden"
+		if os.Getenv("BEELINT_UPDATE_GOLDEN") != "" {
+			if err := os.WriteFile(golden, r.Content, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden (set BEELINT_UPDATE_GOLDEN=1 to create): %v", err)
+		}
+		if !bytes.Equal(r.Content, want) {
+			t.Errorf("%s: fixed output differs from golden:\n%s", name, r.Content)
+		}
+		if err := os.WriteFile(filepath.Join(fixedDir, name), r.Content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Round trip: the fixed corpus type-checks, re-lints clean, and
+	// offers no further fixes.
+	fixedPkg, err := l.Check(fixedDir, "beesim/fixcorpusfixed")
+	if err != nil {
+		t.Fatalf("fixed corpus does not type-check: %v", err)
+	}
+	refind := NewRunner().RunPackage(fixedPkg, l.Fset)
+	for _, f := range refind {
+		t.Errorf("fixed corpus not lint-clean: %s", f)
+	}
+	again, err := fx.Apply(refind)
+	if err != nil {
+		t.Fatalf("second apply: %v", err)
+	}
+	if len(again) != 0 {
+		t.Errorf("second fix pass rewrote %d file(s); -fix must be idempotent", len(again))
 	}
 }

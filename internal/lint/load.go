@@ -123,6 +123,13 @@ func (l *Loader) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package,
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
+	// Already-checked packages (including fixture packages registered
+	// under synthetic import paths via Check) resolve from the cache,
+	// so fixture trees can span multiple packages that import each
+	// other.
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
 	if rel, ok := l.moduleRel(path); ok {
 		pkg, err := l.check(filepath.Join(l.Root, filepath.FromSlash(rel)), path)
 		if err != nil {

@@ -14,7 +14,9 @@ package lint
 // always the same: iterate over sorted keys.
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -185,12 +187,43 @@ func checkMapRanges(p *Pass, body *ast.BlockStmt) {
 			return false
 		})
 		if reported != "" {
-			p.Reportf(rng.Pos(),
+			p.ReportFixf(rng.Pos(), mapRangeFix(p, rng),
 				"map iteration order is nondeterministic but this loop feeds %s; "+
 					"iterate over sorted keys instead", reported)
 		}
 		return true
 	})
+}
+
+// mapRangeFix builds the collect/sort/iterate rewrite for a flagged map
+// range, or nil when the loop's shape is not mechanically rewritable:
+// the fix only applies to `for k := range m` over unnamed string keys,
+// with a side-effect-free map expression and no name collisions on
+// "keys" or "sort" at the loop's scope.
+func mapRangeFix(p *Pass, rng *ast.RangeStmt) *Fix {
+	info := p.Pkg.Info
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rng.Value != nil || rng.Tok != token.DEFINE {
+		return nil
+	}
+	mt, ok := info.TypeOf(rng.X).Underlying().(*types.Map)
+	if !ok || !types.Identical(mt.Key(), types.Typ[types.String]) {
+		return nil
+	}
+	if rootIdent(rng.X) == nil {
+		return nil // the map expression would be evaluated three times
+	}
+	if !nameFreeAt(p.Pkg, rng.Pos(), "keys", "") || !nameFreeAt(p.Pkg, rng.Pos(), "sort", "sort") {
+		return nil
+	}
+	m := types.ExprString(rng.X)
+	header := fmt.Sprintf(
+		"keys := make([]string, 0, len(%s))\nfor %s := range %s {\nkeys = append(keys, %s)\n}\nsort.Strings(keys)\nfor _, %s := range keys {",
+		m, key.Name, m, key.Name, key.Name)
+	return &Fix{
+		Edits:   []FixEdit{{Pos: rng.Pos(), End: rng.Body.Lbrace + 1, New: header}},
+		Imports: []FixImport{{Path: "sort"}},
+	}
 }
 
 var analyzerMapRange = &Analyzer{

@@ -4,11 +4,15 @@ package lint
 // internal/rng (xoshiro256** behind a fixed seed) so that the paper's
 // figures — Gaussian client-loss spikes included — are reproducible
 // bit for bit and independent of the Go release. math/rand's stream
-// changes across Go versions and its global source is shared mutable
+// changes across Go versions and its default source is shared mutable
 // state; crypto/rand is nondeterministic by design. Neither belongs in
 // simulator code.
 
-import "strconv"
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
 
 var bannedRandImports = map[string]string{
 	"math/rand":    "its stream varies across Go releases and its default source is global state",
@@ -25,17 +29,112 @@ var analyzerUnseededRand = &Analyzer{
 		}
 		for _, f := range p.Pkg.Files {
 			for _, imp := range f.Imports {
-				path, err := strconv.Unquote(imp.Path.Value)
-				if err != nil {
-					continue
-				}
+				path := importPathOf(imp)
 				why, banned := bannedRandImports[path]
 				if !banned {
 					continue
 				}
-				p.Reportf(imp.Pos(),
+				p.ReportFixf(imp.Pos(), randImportFix(p, f, imp, path),
 					"import %q: %s; draw from internal/rng instead", path, why)
 			}
 		}
 	},
+}
+
+// randImportFix builds the seeded-rng substitution: when every use of a
+// math/rand import in the file is the rand.New(rand.NewSource(seed))
+// idiom, each becomes rng.New(uint64(seed)) and the import is retargeted
+// to the module's internal/rng. (The deterministic Source covers the
+// overlapping method set — Float64, Intn, Perm, Shuffle, Uint64, … —
+// so the swap is mechanical.) Nil when any other use of the package
+// remains, the import is renamed, or "rng" is already bound.
+func randImportFix(p *Pass, f *ast.File, imp *ast.ImportSpec, path string) *Fix {
+	if path != "math/rand" || imp.Name != nil {
+		return nil
+	}
+	info := p.Pkg.Info
+	pn, ok := info.Implicits[imp].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	rngPath := modulePrefix(p.Pkg.Path) + "/internal/rng"
+	if p.Pkg.Types.Scope().Lookup("rng") != nil {
+		return nil
+	}
+	for _, other := range f.Imports {
+		name := ""
+		if other.Name != nil {
+			name = other.Name.Name
+		} else if i := importPathOf(other); i != "" {
+			// Default names match the path's last segment closely enough
+			// for a collision veto.
+			name = i[lastSlash(i)+1:]
+		}
+		if name == "rng" {
+			return nil
+		}
+	}
+
+	// Collect the rewrite sites and the rand selectors they account for.
+	accounted := make(map[*ast.SelectorExpr]bool)
+	var edits []FixEdit
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		outer, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isRandRef(info, outer, pn) || outer.Sel.Name != "New" || len(call.Args) != 1 {
+			return true
+		}
+		src, ok := call.Args[0].(*ast.CallExpr)
+		if !ok || len(src.Args) != 1 {
+			return true
+		}
+		inner, ok := src.Fun.(*ast.SelectorExpr)
+		if !ok || !isRandRef(info, inner, pn) || inner.Sel.Name != "NewSource" {
+			return true
+		}
+		accounted[outer], accounted[inner] = true, true
+		edits = append(edits, FixEdit{
+			Pos: call.Pos(), End: call.End(),
+			New: fmt.Sprintf("rng.New(uint64(%s))", types.ExprString(src.Args[0])),
+		})
+		return true
+	})
+	if len(edits) == 0 {
+		return nil
+	}
+
+	// Any rand reference outside the matched pattern blocks the fix.
+	blocked := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if ok && isRandRef(info, sel, pn) && !accounted[sel] {
+			blocked = true
+		}
+		return !blocked
+	})
+	if blocked {
+		return nil
+	}
+	edits = append(edits, FixEdit{Pos: imp.Pos(), End: imp.End(), New: fmt.Sprintf("%q", rngPath)})
+	return &Fix{Edits: edits}
+}
+
+// isRandRef reports whether sel selects through the given rand package
+// name.
+func isRandRef(info *types.Info, sel *ast.SelectorExpr, pn *types.PkgName) bool {
+	id, ok := sel.X.(*ast.Ident)
+	return ok && info.Uses[id] == pn
+}
+
+// lastSlash returns the index of the last '/' in s, or -1.
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
 }

@@ -1,0 +1,11 @@
+package fixcorpus
+
+import "beesim/internal/units"
+
+func totalEnergy(quanta []units.Joules) units.Joules {
+	var total units.Joules
+	for _, q := range quanta {
+		total += q
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// Fixture: -fix corpus input. Each file in this package carries
+// exactly the findings whose mechanical rewrite beelint -fix ships;
+// the .golden siblings pin the fixed output byte for byte.
+package fixcorpus
+
+import "fmt"
+
+func printTallies(m map[string]int) {
+	for k := range m {
+		fmt.Println(k, m[k])
+	}
+}

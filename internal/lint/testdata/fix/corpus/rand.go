@@ -1,0 +1,8 @@
+package fixcorpus
+
+import "math/rand"
+
+func jitter(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

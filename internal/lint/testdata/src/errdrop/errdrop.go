@@ -1,0 +1,35 @@
+// Fixture: errdrop flags discarded errors from calls into the guarded
+// write-path packages (ledger/obs/store): bare statements, blank
+// assignments, and go/defer statements. Handled errors and audited
+// best-effort sites stay clean.
+package errdrop
+
+import ledger "fixture/internal/ledger"
+
+func drops(b *ledger.Book) {
+	b.Append(1)       // want errdrop
+	_ = b.Append(2)   // want errdrop
+	defer b.Append(3) // want errdrop
+	ledger.Flush()    // want errdrop
+}
+
+func dropsBlankOpen() *ledger.Book {
+	bk, _ := ledger.Open() // want errdrop
+	return bk
+}
+
+func handled(b *ledger.Book) error {
+	if err := b.Append(1); err != nil {
+		return err
+	}
+	bk, err := ledger.Open()
+	if err != nil {
+		return err
+	}
+	_ = ledger.Peek(bk) // no error result: clean
+	return ledger.Flush()
+}
+
+func audited(b *ledger.Book) {
+	_ = b.Append(9) //beelint:allow errdrop best-effort flush on shutdown
+}

@@ -1,0 +1,93 @@
+// Fixture: exhaustive requires switches over closed module enum sets
+// (two or more package-level constants of one named type) to cover
+// every constant or carry an audited default. Stdlib enums and
+// open-ended switches are out of scope.
+package exhaustive
+
+import "time"
+
+type Phase int
+
+const (
+	Idle Phase = iota
+	Sense
+	Upload
+)
+
+type Mode string
+
+const (
+	Edge  Mode = "edge"
+	Cloud Mode = "cloud"
+)
+
+// Lone has a single constant: not a closed set, never flagged.
+type Lone int
+
+const Only Lone = 1
+
+func missing(p Phase) string {
+	switch p { // want exhaustive
+	case Idle:
+		return "idle"
+	case Sense:
+		return "sense"
+	}
+	return "?"
+}
+
+func full(p Phase) string {
+	switch p {
+	case Idle:
+		return "idle"
+	case Sense:
+		return "sense"
+	case Upload:
+		return "upload"
+	}
+	return "?"
+}
+
+func defaulted(m Mode) string {
+	switch m {
+	case Edge:
+		return "edge"
+	default:
+		return "elsewhere"
+	}
+}
+
+func dynamic(p, q Phase) string {
+	// A non-constant case makes coverage undecidable; treated as an
+	// audit like a default.
+	switch p {
+	case q:
+		return "same"
+	}
+	return "other"
+}
+
+func stdlib(m time.Month) bool {
+	switch m {
+	case time.January:
+		return true
+	}
+	return false
+}
+
+func lone(l Lone) bool {
+	switch l {
+	case Only:
+		return true
+	}
+	return false
+}
+
+func suppressed(m Mode) string {
+	//beelint:allow exhaustive cloud handled by the caller's fallback
+	switch m {
+	case Edge:
+		return "edge"
+	}
+	return ""
+}

@@ -1,0 +1,16 @@
+// Fixture: the laundering hop. The call into the profiling clock is
+// audited here, so the taint passes through Helper quietly — the next
+// unannotated cross-package caller is the one that gets reported.
+package mid
+
+import (
+	"time"
+
+	"fixture/ip/internal/prof"
+)
+
+// Helper forwards the profiling clock behind an audited call site.
+func Helper() time.Time {
+	//beelint:allow walltime profiling timestamp for offline reports
+	return prof.Stamp()
+}

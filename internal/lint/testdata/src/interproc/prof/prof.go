@@ -1,0 +1,9 @@
+// Fixture: interprocedural walltime source. Checked under
+// "fixture/ip/internal/prof", an exempt path suffix, so the wall-clock
+// read below is audited — file-locally clean, but it taints callers.
+package prof
+
+import "time"
+
+// Stamp reads the wall clock under the profiling exemption.
+func Stamp() time.Time { return time.Now() }

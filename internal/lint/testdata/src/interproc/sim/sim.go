@@ -1,0 +1,39 @@
+// Fixture: the simulated side. Every finding in this file exists only
+// because of the module-wide pass — file-locally each call is an
+// innocent cross-package function call.
+package sim
+
+import (
+	"time"
+
+	"fixture/ip/mid"
+	"fixture/ip/randsrc"
+	"fixture/ip/sink"
+)
+
+// Run reaches the wall clock two hops away (sim -> mid -> prof).
+func Run() time.Time {
+	return mid.Helper() // want walltime
+}
+
+// Jitter reaches the audited randomness source.
+func Jitter() float64 {
+	return randsrc.Draw() // want unseededrand
+}
+
+// Dump leaks map order through a transitive print helper.
+func Dump(m map[string]int) {
+	for k := range m { // want maprange
+		sink.Relay(k)
+	}
+	for k := range m {
+		_ = sink.Describe(k) // not a sink: clean
+	}
+}
+
+// Audited annotates the laundered clock call; the taint passes through
+// quietly and this function produces no finding.
+func Audited() time.Time {
+	//beelint:allow walltime report-generation timestamp
+	return mid.Helper()
+}

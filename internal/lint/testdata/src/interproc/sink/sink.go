@@ -1,0 +1,23 @@
+// Fixture: output-sink summaries. Log prints (a direct sink); Describe
+// only touches a function-local builder and is not a sink.
+package sink
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Log prints one line — a direct output sink.
+func Log(s string) { fmt.Println(s) }
+
+// Relay forwards to Log — a transitive output sink.
+func Relay(s string) { Log(s) }
+
+// Describe builds a string locally; order is not observable.
+func Describe(s string) string {
+	var b strings.Builder
+	b.WriteString("<")
+	b.WriteString(s)
+	b.WriteString(">")
+	return b.String()
+}

@@ -1,0 +1,22 @@
+// Fixture: checked under the synthetic import path
+// "fixture/internal/ledger", so errdrop treats its error-returning
+// functions as guarded write paths.
+package ledgerpkg
+
+// Book stands in for the energy ledger.
+type Book struct{ n int }
+
+// Append records one entry and can fail.
+func (b *Book) Append(n int) error {
+	b.n += n
+	return nil
+}
+
+// Flush persists the book and can fail.
+func Flush() error { return nil }
+
+// Open loads a book from disk.
+func Open() (*Book, error) { return &Book{}, nil }
+
+// Peek returns the running total; no error to drop.
+func Peek(b *Book) int { return b.n }

@@ -1,0 +1,63 @@
+// Fixture: sharedcapture flags writes to captured state inside task
+// closures handed to internal/parallel; writes to each task's private
+// index slot (derived from the closure's own parameters) stay clean.
+package sharedcapture
+
+import "beesim/internal/parallel"
+
+func racyCounter(n int) int {
+	total := 0
+	_ = parallel.MapChunks(0, n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			total++ // want sharedcapture
+		}
+		return nil
+	})
+	return total
+}
+
+func racyMap(n int, seen map[int]bool) {
+	_ = parallel.MapChunks(0, n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			seen[i] = true // want sharedcapture
+		}
+		return nil
+	})
+}
+
+func racyAssign(n int) error {
+	var last int
+	_, err := parallel.Map(0, n, func(i int) (int, error) {
+		last = i // want sharedcapture
+		return i * i, nil
+	})
+	_ = last
+	return err
+}
+
+func cleanSlots(n int) []float64 {
+	out := make([]float64, n)
+	_ = parallel.MapChunks(0, n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = float64(i) // private slot: exempt
+		}
+		return nil
+	})
+	return out
+}
+
+func cleanReturns(n int) ([]int, error) {
+	return parallel.Map(0, n, func(i int) (int, error) {
+		local := i * 2
+		return local, nil
+	})
+}
+
+func audited(n int) int {
+	hits := 0
+	_ = parallel.MapChunks(1, n, func(lo, hi int) error {
+		hits += hi - lo //beelint:allow sharedcapture single worker by construction
+		return nil
+	})
+	return hits
+}
