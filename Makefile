@@ -65,6 +65,7 @@ chaos:
 	$(GO) test -run xxx -fuzz 'FuzzSLOSpecJSON' -fuzztime 10s ./internal/slo/
 	$(GO) test -run xxx -fuzz 'FuzzTraceparent' -fuzztime 10s ./internal/hivenet/
 	$(GO) test -run xxx -fuzz 'FuzzLintDirective' -fuzztime 10s ./internal/lint/
+	$(GO) test -run xxx -fuzz 'FuzzRFFT' -fuzztime 10s ./internal/dsp/
 
 # The tier-1 gate: what CI and pre-commit runs.
 verify: build vet lint test race chaos smoke bench-diff
@@ -90,7 +91,7 @@ bench-baseline:
 		-bench 'BenchmarkSpanStart|BenchmarkHistogramObserveExemplar' \
 		./internal/obs/ >> BENCH_obs.json
 	$(GO) test -json -run xxx -benchmem -count 3 \
-		-bench 'BenchmarkSweep(Serial|Parallel)$$|BenchmarkMelSpectrogram(Cold|Cached)$$|BenchmarkOptimizeParallel|BenchmarkCampaignParallel' \
+		-bench 'BenchmarkSweep(Serial|Parallel)$$|BenchmarkMelSpectrogram(Cold|Cached|Plan)$$|BenchmarkRFFT$$|BenchmarkOptimizeParallel|BenchmarkCampaignParallel' \
 		-benchtime 10x . > BENCH_parallel.json
 	$(GO) test -json -run xxx -bench 'BenchmarkLintModule' -benchtime 1x -count 3 \
 		./internal/lint/ > BENCH_lint.json
@@ -111,7 +112,7 @@ bench-diff:
 		-bench 'BenchmarkSpanStart|BenchmarkHistogramObserveExemplar' \
 		./internal/obs/ >> $$tmp && \
 	  $(GO) test -json -run xxx -benchmem -count 3 \
-		-bench 'BenchmarkSweep(Serial|Parallel)$$|BenchmarkMelSpectrogram(Cold|Cached)$$|BenchmarkOptimizeParallel|BenchmarkCampaignParallel' \
+		-bench 'BenchmarkSweep(Serial|Parallel)$$|BenchmarkMelSpectrogram(Cold|Cached|Plan)$$|BenchmarkRFFT$$|BenchmarkOptimizeParallel|BenchmarkCampaignParallel' \
 		-benchtime 10x . >> $$tmp && \
 	  $(GO) test -json -run xxx -bench 'BenchmarkLintModule' -benchtime 1x -count 3 \
 		./internal/lint/ >> $$tmp && \

@@ -617,6 +617,28 @@ func BenchmarkDESLoopObsFullTrace(b *testing.B) {
 	})
 }
 
+// BenchmarkDESLoopSteady isolates the event-arena steady state: unlike
+// the other DESLoop benchmarks it builds the calendar once outside the
+// timer, so each iteration measures 1000 recurring ticks on a warm
+// free list — the pooled-event path with zero allocations per tick.
+func BenchmarkDESLoopSteady(b *testing.B) {
+	start := time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC)
+	s := des.New(start)
+	ticks := 0
+	if _, err := s.Every(time.Second, func() { ticks++ }); err != nil {
+		b.Fatal(err)
+	}
+	s.RunFor(1000 * time.Second) // warm the arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunFor(1000 * time.Second)
+	}
+	if ticks < 1000*(b.N+1) {
+		b.Fatalf("ticks = %d", ticks)
+	}
+}
+
 // BenchmarkOptimizer searches the full orchestration grid for a
 // 2000-hive, two-service fleet; metric: the optimum's daily fleet energy
 // in megajoules.

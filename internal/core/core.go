@@ -266,9 +266,15 @@ func Allocate(n int, spec ServerSpec, svc Service, l Losses, policy FillPolicy) 
 	nServers := (n + capacity - 1) / capacity
 
 	alloc := Allocation{Spec: spec, Service: svc, Losses: l}
+	// One flat backing array for every server's slots: two allocations
+	// per call instead of nServers+log(nServers), which matters because
+	// every sweep point allocates per evaluated fleet size. The
+	// subslices are capacity-capped so they stay disjoint.
+	alloc.Servers = make([]Server, 0, nServers)
+	flat := make([]int, nServers*slots)
 	remaining := n
 	for s := 0; s < nServers; s++ {
-		srv := Server{Slots: make([]int, slots)}
+		srv := Server{Slots: flat[s*slots : (s+1)*slots : (s+1)*slots]}
 		take := remaining
 		if take > capacity {
 			take = capacity

@@ -26,6 +26,15 @@ type Event struct {
 	fn     func()
 	cancel bool
 	index  int // heap index, -1 once popped
+
+	// pooled events are engine-owned: scheduled by the recurring-timer
+	// and process paths, recycled into the simulation's free list once
+	// fired or skipped. gen counts recycles so an internal cancel
+	// handle can detect (and ignore) a stale reference; events handed
+	// out by the public At/After API are never pooled, so a caller
+	// keeping an *Event around stays safe.
+	pooled bool
+	gen    uint64
 }
 
 // Cancel prevents a pending event from firing. Cancelling an event that
@@ -72,8 +81,13 @@ type Sim struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
-	o       *simObs // nil unless Instrument was called
+	o       *simObs  // nil unless Instrument was called
+	free    []*Event // recycled pooled events (the event arena)
 }
+
+// maxFreeEvents caps the event free list so a burst of recurring
+// timers cannot pin an unbounded arena.
+const maxFreeEvents = 1024
 
 // New creates a simulation whose clock starts at the given virtual time.
 func New(start time.Time) *Sim {
@@ -93,16 +107,64 @@ func (s *Sim) Pending() int { return len(s.queue) }
 // At schedules fn at absolute virtual time t. Scheduling in the past is an
 // error: the calendar cannot rewind.
 func (s *Sim) At(t time.Time, fn func()) (*Event, error) {
+	return s.schedule(t, fn, false)
+}
+
+// schedule is the shared scheduling path. Pooled events come from (and
+// return to) the simulation's free list; only the engine-internal
+// recurring/process paths may request pooling, because they never leak
+// the *Event to code that could touch it after it fires.
+func (s *Sim) schedule(t time.Time, fn func(), pooled bool) (*Event, error) {
 	if t.Before(s.now) {
 		return nil, fmt.Errorf("des: schedule at %v before now %v", t, s.now)
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	var e *Event
+	if pooled && len(s.free) > 0 {
+		e = s.free[len(s.free)-1]
+		s.free[len(s.free)-1] = nil
+		s.free = s.free[:len(s.free)-1]
+		e.at, e.seq, e.fn, e.cancel = t, s.seq, fn, false
+	} else {
+		e = &Event{at: t, seq: s.seq, fn: fn, pooled: pooled}
+	}
 	s.seq++
 	heap.Push(&s.queue, e)
 	if s.o != nil {
 		s.o.eventScheduled(s, e)
 	}
 	return e, nil
+}
+
+// recycle returns a fired or skipped pooled event to the free list,
+// bumping its generation so stale internal cancel handles miss.
+func (s *Sim) recycle(e *Event) {
+	if !e.pooled {
+		return
+	}
+	e.gen++
+	e.fn = nil
+	if len(s.free) < maxFreeEvents {
+		s.free = append(s.free, e)
+	}
+}
+
+// afterPooled schedules fn after delay d on a pooled event. Callers
+// must not retain the returned event beyond its firing except through
+// a generation-checked cancel (cancelIfGen).
+func (s *Sim) afterPooled(d time.Duration, fn func()) (*Event, error) {
+	if d < 0 {
+		return nil, errors.New("des: negative delay")
+	}
+	return s.schedule(s.now.Add(d), fn, true)
+}
+
+// cancelIfGen cancels the event only if it still is the scheduling the
+// caller took the handle from — a recycled (and possibly reused) event
+// has a newer generation and is left untouched.
+func (e *Event) cancelIfGen(gen uint64) {
+	if e.gen == gen {
+		e.cancel = true
+	}
 }
 
 // After schedules fn after delay d from now. Negative delays are errors.
@@ -119,7 +181,13 @@ func (s *Sim) Every(p time.Duration, fn func()) (stop func(), err error) {
 	if p <= 0 {
 		return nil, errors.New("des: non-positive period")
 	}
+	// The recurrence schedules on pooled events: each tick's event is
+	// recycled right after it fires, so a steady-state Every loop
+	// allocates nothing. The stop handle therefore pairs the latest
+	// event with its generation — once the event fired and was
+	// recycled (or reused elsewhere), the stale cancel is a no-op.
 	var cur *Event
+	var curGen uint64
 	stopped := false
 	var tick func()
 	tick = func() {
@@ -130,16 +198,18 @@ func (s *Sim) Every(p time.Duration, fn func()) (stop func(), err error) {
 		if stopped { // fn may call stop
 			return
 		}
-		cur, _ = s.After(p, tick) // After from a handler never fails: delay > 0
+		cur, _ = s.afterPooled(p, tick) // never fails in a handler: delay > 0
+		curGen = cur.gen
 	}
-	cur, err = s.After(p, tick)
+	cur, err = s.afterPooled(p, tick)
 	if err != nil {
 		return nil, err
 	}
+	curGen = cur.gen
 	return func() {
 		stopped = true
 		if cur != nil {
-			cur.Cancel()
+			cur.cancelIfGen(curGen)
 		}
 	}, nil
 }
@@ -156,6 +226,7 @@ func (s *Sim) Step() bool {
 			if s.o != nil {
 				s.o.eventCancelled(s, e)
 			}
+			s.recycle(e)
 			continue
 		}
 		s.now = e.at
@@ -163,7 +234,12 @@ func (s *Sim) Step() bool {
 		if s.o != nil {
 			s.o.eventFired(s, e)
 		}
-		e.fn()
+		fn := e.fn
+		// Recycle before running the handler: e is already popped and
+		// engine-owned, so the handler (which may schedule its own
+		// successor — the Every recurrence) can reuse it immediately.
+		s.recycle(e)
+		fn()
 		return true
 	}
 	return false
@@ -205,6 +281,7 @@ func (s *Sim) peek() *Event {
 		if s.o != nil {
 			s.o.eventCancelled(s, e)
 		}
+		s.recycle(e)
 	}
 	return nil
 }
@@ -244,7 +321,11 @@ func (p *Process) ThenNamed(label string, d time.Duration, stage func(*Process))
 		p.stage++
 		p.sim.o.processStage(p.sim, p.name, label, p.stage, d)
 	}
-	_, err := p.sim.After(d, func() {
+	// Stages ride pooled events: the process never retains the *Event
+	// (Finish suppresses pending stages through p.done, not Cancel), so
+	// a long stage chain recycles one arena slot instead of allocating
+	// an event per hop.
+	_, err := p.sim.afterPooled(d, func() {
 		if !p.done {
 			stage(p)
 		}

@@ -266,3 +266,149 @@ func TestManyEventsHeapStress(t *testing.T) {
 		t.Fatalf("fired %d, want %d", count, n)
 	}
 }
+
+// TestEverySteadyStateNoAlloc pins the event-arena win: once a
+// recurring timer reaches steady state, each tick recycles its pooled
+// event instead of allocating a new one, so a long Every loop runs
+// allocation-free.
+func TestEverySteadyStateNoAlloc(t *testing.T) {
+	s := New(t0)
+	ticks := 0
+	if _, err := s.Every(time.Second, func() { ticks++ }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(10 * time.Second) // warm the free list
+	if allocs := testing.AllocsPerRun(50, func() {
+		s.RunFor(20 * time.Second)
+	}); allocs != 0 {
+		t.Fatalf("steady-state Every loop allocates %v per RunFor, want 0", allocs)
+	}
+	if ticks != 10+50*20+20 { // warmup + AllocsPerRun runs (incl. its one extra warmup run)
+		t.Fatalf("ticks = %d", ticks)
+	}
+}
+
+// TestEveryStopAfterRecycleIsNoOp is the recycle-safety property of
+// the pooled recurrence: a stop handle whose event already fired (and
+// whose arena slot now carries a different timer) must not cancel the
+// new occupant. Loop A stops itself from inside its own handler — the
+// exact window where its current event has been recycled — while loop
+// B, scheduled into the reused slot, must keep ticking.
+func TestEveryStopAfterRecycleIsNoOp(t *testing.T) {
+	s := New(t0)
+	ticksA, ticksB := 0, 0
+	var stopA func()
+	stopA, err := s.Every(time.Second, func() {
+		ticksA++
+		if ticksA == 3 {
+			stopA()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Every(time.Second, func() { ticksB++ }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(10 * time.Second)
+	if ticksA != 3 {
+		t.Fatalf("stopped loop ticked %d times, want 3", ticksA)
+	}
+	if ticksB != 10 {
+		t.Fatalf("surviving loop ticked %d times, want 10 (stale cancel hit a recycled event)", ticksB)
+	}
+}
+
+// TestEveryStopTwiceSafe checks a stop handle is idempotent and that
+// stopping after many recycles cancels the right (current) event.
+func TestEveryStopTwiceSafe(t *testing.T) {
+	s := New(t0)
+	ticks := 0
+	stop, err := s.Every(time.Second, func() { ticks++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(5 * time.Second)
+	stop()
+	stop()
+	s.RunFor(5 * time.Second)
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+}
+
+// TestPublicEventNotPooled pins the API safety line: events handed out
+// by At/After are never recycled, so a caller may hold the handle and
+// Cancel it long after it fired without touching any later event.
+func TestPublicEventNotPooled(t *testing.T) {
+	s := New(t0)
+	fired := 0
+	e, err := s.After(time.Second, func() { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(2 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	e.Cancel() // late cancel of an already-fired, never-pooled event
+	// New work — including pooled recurrences — must be unaffected.
+	later := 0
+	if _, err := s.Every(time.Second, func() { later++ }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.After(time.Second, func() { later++ }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(3 * time.Second)
+	if later != 4 {
+		t.Fatalf("later events fired %d times, want 4", later)
+	}
+}
+
+// TestCancelledPooledEventRecycled checks that pooled events skipped by
+// cancellation (not just fired ones) return to the arena: a stopped
+// recurrence's pending event is reclaimed by the next pooled schedule.
+func TestCancelledPooledEventRecycled(t *testing.T) {
+	s := New(t0)
+	stop, err := s.Every(time.Second, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // cancels the pending first tick
+	ticks := 0
+	if _, err := s.Every(time.Second, func() { ticks++ }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(3 * time.Second)
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+	if s.Pending() != 1 { // only the live recurrence's next event
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+}
+
+// TestProcessChainPooledSteadyState checks long Then chains ride the
+// arena: after the first few stages the chain stops allocating events.
+func TestProcessChainPooledSteadyState(t *testing.T) {
+	s := New(t0)
+	p := NewProcess(s)
+	hops := 0
+	var hop func(*Process)
+	hop = func(pr *Process) {
+		hops++
+		if hops < 1000 {
+			if err := pr.Then(time.Second, hop); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := p.Then(time.Second, hop); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(2000 * time.Second)
+	if hops != 1000 {
+		t.Fatalf("hops = %d, want 1000", hops)
+	}
+}

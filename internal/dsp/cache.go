@@ -22,8 +22,10 @@ import (
 
 var (
 	twiddleCache sync.Map // twiddleKey -> [][]complex128
+	rfftTwCache  sync.Map // int -> []complex128
 	hannCache    sync.Map // int -> []float64
 	melCache     sync.Map // melKey -> *Matrix
+	planCache    sync.Map // planKey -> *Plan
 )
 
 // twiddleKey identifies one FFT plan.
@@ -37,12 +39,14 @@ type melKey struct {
 	nMels, fftSize, sampleRate int
 }
 
-// ResetCaches drops every memoized table. Benchmarks use it to measure
-// the cold path; production code never needs it.
+// ResetCaches drops every memoized table and plan. Benchmarks use it to
+// measure the cold path; production code never needs it.
 func ResetCaches() {
 	twiddleCache = sync.Map{}
+	rfftTwCache = sync.Map{}
 	hannCache = sync.Map{}
 	melCache = sync.Map{}
+	planCache = sync.Map{}
 }
 
 // twiddles returns the per-stage twiddle-factor tables of an n-point
@@ -71,6 +75,25 @@ func twiddles(n int, inverse bool) [][]complex128 {
 	}
 	v, _ := twiddleCache.LoadOrStore(key, tables)
 	return v.([][]complex128)
+}
+
+// rfftTwiddles returns the untangling factors of an n-point packed real
+// FFT: tw[k] = exp(-2*pi*i*k/n) for k = 0..n/4. Built with the same
+// incremental recurrence as the butterfly tables so cold and warm
+// builds are bit-identical.
+func rfftTwiddles(n int) []complex128 {
+	if v, ok := rfftTwCache.Load(n); ok {
+		return v.([]complex128)
+	}
+	wStep := cmplx.Exp(complex(0, -2*math.Pi/float64(n)))
+	t := make([]complex128, n/4+1)
+	w := complex(1, 0)
+	for k := range t {
+		t[k] = w
+		w *= wStep
+	}
+	v, _ := rfftTwCache.LoadOrStore(n, t)
+	return v.([]complex128)
 }
 
 // hannWindow returns the shared n-point Hann window. Callers must not

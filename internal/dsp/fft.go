@@ -9,6 +9,7 @@ package dsp
 
 import (
 	"errors"
+	"fmt"
 	"math/bits"
 )
 
@@ -68,15 +69,72 @@ func fft(x []complex128, inverse bool) error {
 
 // RFFT computes the FFT of a real signal and returns the n/2+1
 // non-redundant bins. The input length must be a power of two.
+//
+// Unlike a complex transform of the zero-padded signal, RFFT exploits
+// conjugate symmetry with the packed real-FFT algorithm: the n real
+// samples fold into an n/2-point complex transform plus an O(n)
+// untangling pass, halving the butterfly work. The low-order bits of
+// the result therefore differ from FFT of the widened signal; the
+// agreement is pinned to a tight ulp bound by TestRFFTMatchesFFT.
 func RFFT(x []float64) ([]complex128, error) {
-	buf := make([]complex128, len(x))
-	for i, v := range x {
-		buf[i] = complex(v, 0)
+	return RFFTInto(make([]complex128, len(x)/2+1), x)
+}
+
+// RFFTInto is the no-alloc variant of RFFT: it computes the transform
+// into dst, which must have capacity for the n/2+1 output bins, and
+// returns dst[:n/2+1]. The contents of dst are fully overwritten; no
+// other scratch is used, so a caller looping over frames can reuse one
+// buffer for a zero-allocation steady state.
+func RFFTInto(dst []complex128, x []float64) ([]complex128, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("dsp: empty FFT input")
 	}
-	if err := FFT(buf); err != nil {
+	if n&(n-1) != 0 {
+		return nil, errors.New("dsp: FFT length must be a power of two")
+	}
+	bins := n/2 + 1
+	if cap(dst) < bins {
+		return nil, fmt.Errorf("dsp: RFFT destination capacity %d < %d bins", cap(dst), bins)
+	}
+	dst = dst[:bins]
+	if n == 1 {
+		dst[0] = complex(x[0], 0)
+		return dst, nil
+	}
+	// Pack adjacent sample pairs into one half-length complex signal:
+	// z[k] = x[2k] + i*x[2k+1].
+	n2 := n / 2
+	z := dst[:n2]
+	for k := 0; k < n2; k++ {
+		z[k] = complex(x[2*k], x[2*k+1])
+	}
+	if err := fft(z, false); err != nil {
 		return nil, err
 	}
-	return buf[:len(x)/2+1], nil
+	// Untangle the packed transform Z into the real signal's spectrum:
+	//   X[k] = (Z[k] + conj(Z[n2-k]))/2 - i/2 * w^k * (Z[k] - conj(Z[n2-k]))
+	// with w = exp(-2*pi*i/n) and Z[n2] === Z[0]. Bins 0 and n/2 are the
+	// purely real DC and Nyquist terms; interior bins pair up as
+	// (k, n2-k), so the pass runs in place over dst.
+	z0 := z[0]
+	dst[n2] = complex(real(z0)-imag(z0), 0)
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	tw := rfftTwiddles(n)
+	for k := 1; k <= n2/2; k++ {
+		j := n2 - k
+		a, b := z[k], z[j]
+		sumR, sumI := real(a)+real(b), imag(a)-imag(b)   // Z[k] + conj(Z[j])
+		diffR, diffI := real(a)-real(b), imag(a)+imag(b) // Z[k] - conj(Z[j])
+		w := tw[k]
+		mR := real(w)*diffR - imag(w)*diffI // m = w^k * diff
+		mI := real(w)*diffI + imag(w)*diffR
+		dst[k] = complex(0.5*(sumR+mI), 0.5*(sumI-mR))
+		// X[j] follows from the same pair: w^j = -conj(w^k), so the
+		// mirrored bin reuses m with conjugated signs.
+		dst[j] = complex(0.5*(sumR-mI), 0.5*(-sumI-mR))
+	}
+	return dst, nil
 }
 
 // NextPow2 returns the smallest power of two >= n (minimum 1).

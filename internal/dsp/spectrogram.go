@@ -2,10 +2,7 @@ package dsp
 
 import (
 	"errors"
-	"fmt"
 	"math"
-
-	"beesim/internal/parallel"
 )
 
 // Matrix is a dense row-major 2D array (rows x cols).
@@ -73,48 +70,16 @@ func PaperSTFT() STFTConfig { return STFTConfig{FFTSize: 2048, Hop: 512} }
 
 // PowerSpectrogram computes |STFT|^2 of the signal with a Hann window.
 // The result has FFTSize/2+1 rows (frequency bins) and one column per
-// frame; signals shorter than one window are an error.
+// frame; signals shorter than one window are an error. The computation
+// goes through the shared memoized Plan for the shape — packed real
+// FFT, pooled scratch arenas — so repeated calls with the paper's fixed
+// front end pay no precomputation.
 func PowerSpectrogram(signal []float64, cfg STFTConfig) (*Matrix, error) {
-	if cfg.FFTSize <= 0 || cfg.FFTSize&(cfg.FFTSize-1) != 0 {
-		return nil, fmt.Errorf("dsp: FFT size %d is not a power of two", cfg.FFTSize)
-	}
-	if cfg.Hop <= 0 {
-		return nil, errors.New("dsp: non-positive hop")
-	}
-	if len(signal) < cfg.FFTSize {
-		return nil, fmt.Errorf("dsp: signal (%d samples) shorter than one window (%d)",
-			len(signal), cfg.FFTSize)
-	}
-	window := hannWindow(cfg.FFTSize)
-	frames := 1 + (len(signal)-cfg.FFTSize)/cfg.Hop
-	bins := cfg.FFTSize/2 + 1
-	out := NewMatrix(bins, frames)
-	// Frames are independent: each reads its own signal slice (plus the
-	// shared read-only window) and writes its own column of out, so
-	// chunks of frames fan out across the default worker pool. Per-frame
-	// math is unchanged and scratch buffers are fully overwritten per
-	// frame, so the output does not depend on the chunking.
-	err := parallel.MapChunks(0, frames, func(lo, hi int) error {
-		buf := make([]complex128, cfg.FFTSize)
-		for f := lo; f < hi; f++ {
-			off := f * cfg.Hop
-			for i := 0; i < cfg.FFTSize; i++ {
-				buf[i] = complex(signal[off+i]*window[i], 0)
-			}
-			if err := FFT(buf); err != nil {
-				return err
-			}
-			for b := 0; b < bins; b++ {
-				re, im := real(buf[b]), imag(buf[b])
-				out.Set(b, f, re*re+im*im)
-			}
-		}
-		return nil
-	})
+	p, err := PlanFor(cfg, 0, 0)
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	return p.PowerSpectrogram(signal)
 }
 
 // HzToMel converts frequency to the HTK mel scale.
@@ -174,39 +139,19 @@ func buildMelFilterbank(nMels, fftSize, sampleRate int) (*Matrix, error) {
 
 // MelSpectrogram computes the log-compressed mel spectrogram of a signal
 // using the paper's front end: power STFT, mel filterbank, log(1+x).
-// The result is nMels rows by frames columns.
+// The result is nMels rows by frames columns. The computation goes
+// through the shared memoized Plan for the shape: packed real FFT,
+// fused frame-major sparse mel projection, pooled scratch — the full
+// power spectrogram is never materialized.
 func MelSpectrogram(signal []float64, cfg STFTConfig, nMels, sampleRate int) (*Matrix, error) {
-	spec, err := PowerSpectrogram(signal, cfg)
+	if nMels <= 0 {
+		return nil, errors.New("dsp: invalid filterbank shape")
+	}
+	p, err := PlanFor(cfg, nMels, sampleRate)
 	if err != nil {
 		return nil, err
 	}
-	fb, err := melFilterbank(nMels, cfg.FFTSize, sampleRate)
-	if err != nil {
-		return nil, err
-	}
-	out := NewMatrix(nMels, spec.Cols)
-	// Mel bands are independent: band m reads the shared filterbank row
-	// and spectrogram, and writes only row m of out, so chunks of bands
-	// fan out across the default worker pool without changing a bit of
-	// the result.
-	err = parallel.MapChunks(0, nMels, func(lo, hi int) error {
-		for m := lo; m < hi; m++ {
-			for f := 0; f < spec.Cols; f++ {
-				var sum float64
-				for b := 0; b < spec.Rows; b++ {
-					if w := fb.At(m, b); w != 0 {
-						sum += w * spec.At(b, f)
-					}
-				}
-				out.Set(m, f, math.Log1p(sum))
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return p.MelSpectrogram(signal)
 }
 
 // Resize maps the matrix onto a rows x cols grid with bilinear
@@ -220,6 +165,19 @@ func (m *Matrix) Resize(rows, cols int) (*Matrix, error) {
 		return nil, errors.New("dsp: resize of empty matrix")
 	}
 	out := NewMatrix(rows, cols)
+	// The column mapping (sc, c0, fc, c1) is identical for every output
+	// row, so hoist it out of the row loop instead of redoing the
+	// floor/clamp math rows times.
+	c0s := make([]int, cols)
+	c1s := make([]int, cols)
+	fcs := make([]float64, cols)
+	for c := 0; c < cols; c++ {
+		sc := (float64(c)+0.5)*float64(m.Cols)/float64(cols) - 0.5
+		c0 := int(math.Floor(sc))
+		fcs[c] = sc - float64(c0)
+		c0s[c] = clampInt(c0, 0, m.Cols-1)
+		c1s[c] = clampInt(c0+1, 0, m.Cols-1)
+	}
 	for r := 0; r < rows; r++ {
 		// Map output pixel centers onto the source grid.
 		sr := (float64(r)+0.5)*float64(m.Rows)/float64(rows) - 0.5
@@ -228,18 +186,15 @@ func (m *Matrix) Resize(rows, cols int) (*Matrix, error) {
 		r1 := r0 + 1
 		r0 = clampInt(r0, 0, m.Rows-1)
 		r1 = clampInt(r1, 0, m.Rows-1)
+		row0 := m.Data[r0*m.Cols : (r0+1)*m.Cols]
+		row1 := m.Data[r1*m.Cols : (r1+1)*m.Cols]
+		dst := out.Data[r*cols : (r+1)*cols]
 		for c := 0; c < cols; c++ {
-			sc := (float64(c)+0.5)*float64(m.Cols)/float64(cols) - 0.5
-			c0 := int(math.Floor(sc))
-			fc := sc - float64(c0)
-			c1 := c0 + 1
-			c0 = clampInt(c0, 0, m.Cols-1)
-			c1 = clampInt(c1, 0, m.Cols-1)
-			v := m.At(r0, c0)*(1-fr)*(1-fc) +
-				m.At(r1, c0)*fr*(1-fc) +
-				m.At(r0, c1)*(1-fr)*fc +
-				m.At(r1, c1)*fr*fc
-			out.Set(r, c, v)
+			c0, c1, fc := c0s[c], c1s[c], fcs[c]
+			dst[c] = row0[c0]*(1-fr)*(1-fc) +
+				row1[c0]*fr*(1-fc) +
+				row0[c1]*(1-fr)*fc +
+				row1[c1]*fr*fc
 		}
 	}
 	return out, nil
@@ -260,9 +215,12 @@ func (m *Matrix) MeanPool() []float64 {
 		return out
 	}
 	for r := 0; r < m.Rows; r++ {
+		// One contiguous row-major pass per band — the matrix is
+		// row-major, so this is a straight streaming sum.
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
 		var sum float64
-		for c := 0; c < m.Cols; c++ {
-			sum += m.At(r, c)
+		for _, v := range row {
+			sum += v
 		}
 		out[r] = sum / float64(m.Cols)
 	}

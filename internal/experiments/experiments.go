@@ -250,9 +250,14 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 	workers := parallel.Resolve(cfg.Workers)
 	evals, err := parallel.Map(workers, len(counts), func(i int) (sweepEval, error) {
 		n := counts[i]
+		// The per-point stream is a stack value (rng.Seeded, not
+		// rng.Stream) — still keyed by the stable client count, but no
+		// per-point heap allocation.
+		var src rng.Source
 		var r *rng.Source
 		if cfg.Losses.ClientLossFrac > 0 {
-			r = rng.Stream(cfg.Seed, uint64(n))
+			src = rng.Seeded(rng.StreamSeed(cfg.Seed, uint64(n)))
+			r = &src
 		}
 		edge, err := core.SimulateEdgeOnly(n, cfg.Service, cfg.Losses, r)
 		if err != nil {
@@ -283,14 +288,20 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 		hEdgeJ.Observe(float64(edge.PerClient()))
 		hCloudJ.Observe(float64(ec.PerClient()))
 		at := epoch.Add(time.Duration(len(out)) * time.Millisecond)
-		cfg.Tracer.Span(fmt.Sprintf("sweep point %d clients", n), "sweep", obs.TidEngine,
-			at, time.Millisecond,
-			map[string]any{
-				"clients":        n,
-				"edge_j_client":  float64(edge.PerClient()),
-				"cloud_j_client": float64(ec.PerClient()),
-				"servers":        ec.Servers,
-			})
+		// Span is nil-safe, but its name and args (Sprintf, a map, boxed
+		// values) would still be built per point — on a 1901-point sweep
+		// that is most of the commit loop's garbage — so guard the whole
+		// construction for the common untraced run.
+		if cfg.Tracer != nil {
+			cfg.Tracer.Span(fmt.Sprintf("sweep point %d clients", n), "sweep", obs.TidEngine,
+				at, time.Millisecond,
+				map[string]any{
+					"clients":        n,
+					"edge_j_client":  float64(edge.PerClient()),
+					"cloud_j_client": float64(ec.PerClient()),
+					"servers":        ec.Servers,
+				})
+		}
 		if cfg.Ledger != nil {
 			hive := fmt.Sprintf("fleet-%d", n)
 			cfg.Ledger.Append(ledger.Entry{

@@ -26,10 +26,25 @@ const (
 	LabelQueen     = 1
 )
 
+// NMels is the paper's mel band count.
+const NMels = 128
+
+// FrontEnd returns the shared memoized DSP plan of the paper's front
+// end (FFT 2048, hop 512, 128 bands) at the given sample rate: the
+// precomputed real-FFT tables, sparse mel filterbank and scratch
+// arenas every feature extraction below reuses.
+func FrontEnd(sampleRate int) (*dsp.Plan, error) {
+	return dsp.PlanFor(dsp.PaperSTFT(), NMels, sampleRate)
+}
+
 // Features computes the paper's front end for one clip: a mel
 // spectrogram (FFT 2048, hop 512, 128 bands) normalized to [0,1].
 func Features(clip []float64, sampleRate int) (*dsp.Matrix, error) {
-	mel, err := dsp.MelSpectrogram(clip, dsp.PaperSTFT(), 128, sampleRate)
+	plan, err := FrontEnd(sampleRate)
+	if err != nil {
+		return nil, fmt.Errorf("queendetect: features: %w", err)
+	}
+	mel, err := plan.MelSpectrogram(clip)
 	if err != nil {
 		return nil, fmt.Errorf("queendetect: features: %w", err)
 	}

@@ -26,6 +26,15 @@ type Source struct {
 // New returns a Source seeded from seed via SplitMix64, so that nearby
 // seeds still produce well-separated streams.
 func New(seed uint64) *Source {
+	r := Seeded(seed)
+	return &r
+}
+
+// Seeded returns a Source value seeded exactly like New. Use it when
+// the stream can live on the caller's stack or inside a struct — a
+// per-task stream in a tight fan-out loop, for instance — instead of
+// forcing a heap allocation per stream.
+func Seeded(seed uint64) Source {
 	var r Source
 	sm := seed
 	for i := range r.s {
@@ -35,7 +44,7 @@ func New(seed uint64) *Source {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		r.s[i] = z ^ (z >> 31)
 	}
-	return &r
+	return r
 }
 
 // Split derives an independent child stream. The parent advances by one

@@ -41,25 +41,34 @@ func PipingScore(clip []float64, sampleRate int) (float64, error) {
 	if len(clip) < cfg.FFTSize {
 		return 0, errors.New("swarm: clip shorter than one analysis window")
 	}
-	spec, err := dsp.PowerSpectrogram(clip, cfg)
+	// The band reduction below reads whole frames, so ask the shared
+	// plan for the frame-major power layout: one contiguous row per
+	// frame instead of a column-strided walk over the bin-major matrix.
+	plan, err := dsp.PlanFor(cfg, 0, 0)
 	if err != nil {
 		return 0, err
 	}
+	spec, err := plan.PowerFrames(clip)
+	if err != nil {
+		return 0, err
+	}
+	bins := spec.Cols
 	loBin := int(bandLowHz * float64(cfg.FFTSize) / float64(sampleRate))
 	hiBin := int(bandHighHz * float64(cfg.FFTSize) / float64(sampleRate))
-	if hiBin >= spec.Rows {
-		hiBin = spec.Rows - 1
+	if hiBin >= bins {
+		hiBin = bins - 1
 	}
 	if loBin >= hiBin {
 		return 0, errors.New("swarm: sample rate too low for the piping band")
 	}
 
 	// Per-frame band fraction.
-	fracs := make([]float64, spec.Cols)
-	for f := 0; f < spec.Cols; f++ {
+	fracs := make([]float64, spec.Rows)
+	for f := 0; f < spec.Rows; f++ {
+		row := spec.Data[f*bins : (f+1)*bins]
 		var band, total float64
-		for b := 1; b < spec.Rows; b++ {
-			v := spec.At(b, f)
+		for b := 1; b < bins; b++ {
+			v := row[b]
 			total += v
 			if b >= loBin && b <= hiBin {
 				band += v

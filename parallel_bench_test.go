@@ -14,6 +14,7 @@ import (
 	"beesim/internal/dsp"
 	"beesim/internal/experiments"
 	"beesim/internal/optimizer"
+	"beesim/internal/rng"
 	"beesim/internal/services"
 )
 
@@ -103,6 +104,51 @@ func benchMel(b *testing.B, cold bool) {
 // keyed caches save per clip.
 func BenchmarkMelSpectrogramCold(b *testing.B)   { benchMel(b, true) }
 func BenchmarkMelSpectrogramCached(b *testing.B) { benchMel(b, false) }
+
+// BenchmarkMelSpectrogramPlan is the fully-amortized front end: a
+// prebuilt Plan and a reused destination matrix, the steady-state
+// configuration of a per-clip feature loop. The gap to Cached is the
+// remaining per-call cost of the memo lookups and output allocation.
+func BenchmarkMelSpectrogramPlan(b *testing.B) {
+	clip := benchClip(b)
+	plan, err := dsp.PlanFor(dsp.PaperSTFT(), 128, 22050)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := plan.MelSpectrogram(clip) // warm plan scratch + shape dst
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = plan.MelSpectrogramInto(dst, clip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRFFT measures one packed real transform at the paper's
+// frame size (2048 samples -> 1025 bins) through the no-alloc entry
+// point — the innermost kernel of every spectrogram.
+func BenchmarkRFFT(b *testing.B) {
+	r := rng.New(7)
+	x := make([]float64, 2048)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	dst := make([]complex128, len(x)/2+1)
+	if _, err := dsp.RFFTInto(dst, x); err != nil { // warm twiddles
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dsp.RFFTInto(dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkCampaignParallel runs the Section-IV daily-routine Monte
 // Carlo campaign (319 replicas, batched 64 per rng stream) across all
