@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-fix race bench verify bench-baseline bench-diff smoke chaos
+.PHONY: all build test vet lint lint-fix race bench verify bench-baseline bench-diff smoke chaos soak
 
 all: verify
 
@@ -47,7 +47,8 @@ race:
 		./internal/swarm/... ./internal/experiments/... \
 		./internal/parallel/... ./internal/optimizer/... \
 		./internal/dsp/... ./internal/faults/... ./internal/slo/... \
-		./internal/routine/... ./internal/queendetect/...
+		./internal/routine/... ./internal/queendetect/... \
+		./internal/loadgen/...
 
 # End-to-end smoke of the -workers plumbing: a multi-worker scenario
 # run must complete and pass its own conservation audit.
@@ -66,6 +67,15 @@ chaos:
 	$(GO) test -run xxx -fuzz 'FuzzTraceparent' -fuzztime 10s ./internal/hivenet/
 	$(GO) test -run xxx -fuzz 'FuzzLintDirective' -fuzztime 10s ./internal/lint/
 	$(GO) test -run xxx -fuzz 'FuzzRFFT' -fuzztime 10s ./internal/dsp/
+	$(GO) test -run xxx -fuzz 'FuzzLoadSpecJSON' -fuzztime 10s ./internal/loadgen/
+	$(GO) test -run xxx -fuzz 'FuzzAdmissionFrame' -fuzztime 10s ./internal/hivenet/
+
+# The full fleet soak: the checked-in fleet_small campaign replayed
+# twice against live server shards with leak accounting, behind a build
+# tag so the tier-1 gate stays fast (verify runs the short-mode stress
+# in `race` instead).
+soak:
+	$(GO) test -tags soak -race -run 'TestSoak' -v ./internal/loadgen/
 
 # The tier-1 gate: what CI and pre-commit runs.
 verify: build vet lint test race chaos smoke bench-diff
@@ -95,6 +105,12 @@ bench-baseline:
 		-benchtime 10x . > BENCH_parallel.json
 	$(GO) test -json -run xxx -bench 'BenchmarkLintModule' -benchtime 1x -count 3 \
 		./internal/lint/ > BENCH_lint.json
+	$(GO) test -json -run xxx -benchmem -count 3 \
+		-bench 'BenchmarkLoadgenSchedule|BenchmarkSimulateProbe' \
+		./internal/loadgen/ > BENCH_load.json
+	$(GO) test -json -run xxx -benchmem -count 3 \
+		-bench 'BenchmarkServerHandleUpload' -benchtime 200x \
+		./internal/hivenet/ >> BENCH_load.json
 
 # Perf regression gate: re-run the baseline benchmark sets in smoke
 # mode (short -benchtime keeps verify fast, -count 3 lets benchdiff
@@ -116,6 +132,13 @@ bench-diff:
 		-benchtime 10x . >> $$tmp && \
 	  $(GO) test -json -run xxx -bench 'BenchmarkLintModule' -benchtime 1x -count 3 \
 		./internal/lint/ >> $$tmp && \
+	  $(GO) test -json -run xxx -benchmem -count 3 \
+		-bench 'BenchmarkLoadgenSchedule|BenchmarkSimulateProbe' \
+		-benchtime 100x ./internal/loadgen/ >> $$tmp && \
+	  $(GO) test -json -run xxx -benchmem -count 3 \
+		-bench 'BenchmarkServerHandleUpload' -benchtime 50x \
+		./internal/hivenet/ >> $$tmp && \
 	  $(GO) run ./cmd/benchdiff -ns-frac 0.75 \
-		-baseline BENCH_obs.json -baseline BENCH_parallel.json -baseline BENCH_lint.json $$tmp; } && status=0; \
+		-baseline BENCH_obs.json -baseline BENCH_parallel.json -baseline BENCH_lint.json \
+		-baseline BENCH_load.json $$tmp; } && status=0; \
 	rm -f $$tmp; exit $$status

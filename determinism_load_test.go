@@ -1,0 +1,101 @@
+package beesim
+
+// Byte-determinism for the fleet load layer: the schedule a LoadSpec
+// derives and the capacity report the planner renders are pure
+// functions of the spec + SLO. These tests render both artifacts from
+// the checked-in examples at workers 1, 2 and 8 — and twice at the
+// same worker count — and require identical bytes, the same contract
+// `hiveload plan` advertises on its stdout.
+
+import (
+	"bytes"
+	"testing"
+
+	"beesim/internal/loadgen"
+	"beesim/internal/slo"
+)
+
+func loadFleetSmall(t *testing.T) loadgen.LoadSpec {
+	t.Helper()
+	spec, err := loadgen.LoadFile("examples/fleet_small.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// renderSchedule derives the fleet schedule at a worker count and
+// renders it as CSV bytes.
+func renderSchedule(t *testing.T, spec loadgen.LoadSpec, workers int) []byte {
+	t.Helper()
+	evs, err := loadgen.ScheduleParallel(spec, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := loadgen.WriteCSV(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadScheduleByteDeterminism(t *testing.T) {
+	spec := loadFleetSmall(t)
+	base := renderSchedule(t, spec, determinismWorkers[0])
+	if len(base) == 0 {
+		t.Fatal("empty schedule")
+	}
+	for _, w := range determinismWorkers[1:] {
+		if got := renderSchedule(t, spec, w); !bytes.Equal(base, got) {
+			t.Fatalf("schedule bytes diverge at workers=%d", w)
+		}
+	}
+	if again := renderSchedule(t, spec, determinismWorkers[0]); !bytes.Equal(base, again) {
+		t.Fatal("schedule bytes diverge across repeated runs")
+	}
+}
+
+// renderPlan runs the full capacity plan (search + knee sweep) at a
+// worker count and renders report + CSV as one byte slice.
+func renderPlan(t *testing.T, spec loadgen.LoadSpec, sloSpec slo.Spec, workers int) []byte {
+	t.Helper()
+	evs, err := loadgen.ScheduleParallel(spec, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadgen.Plan(spec, evs, sloSpec, loadgen.PlanOptions{
+		MaxServers: 8,
+		Workers:    workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteKneeCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCapacityPlanByteDeterminism(t *testing.T) {
+	spec := loadFleetSmall(t)
+	sloSpec, err := slo.LoadSpec("examples/slo_upload.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := renderPlan(t, spec, sloSpec, determinismWorkers[0])
+	if len(base) == 0 {
+		t.Fatal("empty plan report")
+	}
+	for _, w := range determinismWorkers[1:] {
+		if got := renderPlan(t, spec, sloSpec, w); !bytes.Equal(base, got) {
+			t.Fatalf("capacity report bytes diverge at workers=%d", w)
+		}
+	}
+	if again := renderPlan(t, spec, sloSpec, determinismWorkers[0]); !bytes.Equal(base, again) {
+		t.Fatal("capacity report bytes diverge across repeated runs")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"beesim/internal/audio"
+	"beesim/internal/faults"
 	"beesim/internal/hive"
 	"beesim/internal/netsim"
 	"beesim/internal/obs"
@@ -21,6 +22,44 @@ import (
 // budget before delivering the cycle's audio upload. The session stays
 // usable; the caller decides whether to retry next wake-up.
 var ErrUploadDropped = errors.New("hivenet: upload dropped: uplink retry budget exhausted")
+
+// RejectedError is the client-side face of a TypeReject frame: the
+// server's admission control refused the request. For code
+// "over_capacity" the session stays open and the client should back
+// off and retry; for "server_full" the server closed the connection.
+type RejectedError struct {
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("hivenet: rejected (%s): %s", e.Code, e.Message)
+}
+
+// IsRejected unwraps err into a RejectedError, if it is one.
+func IsRejected(err error) (*RejectedError, bool) {
+	var re *RejectedError
+	if errors.As(err, &re) {
+		return re, true
+	}
+	return nil, false
+}
+
+// rejectedError converts a decoded TypeReject frame into its typed
+// error.
+func rejectedError(f proto.Frame) error {
+	var body proto.RejectBody
+	if err := f.Unmarshal(proto.TypeReject, &body); err != nil {
+		return err
+	}
+	return &RejectedError{
+		Code:       body.Code,
+		Message:    body.Message,
+		RetryAfter: time.Duration(body.RetryAfterS * float64(time.Second)),
+	}
+}
 
 // AgentConfig shapes one edge agent.
 type AgentConfig struct {
@@ -129,6 +168,11 @@ func Dial(addr string, cfg AgentConfig) (*Agent, error) {
 	}
 	f, err := proto.Decode(conn)
 	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if f.Type == proto.TypeReject {
+		err := rejectedError(f)
 		conn.Close()
 		return nil, err
 	}
@@ -285,6 +329,12 @@ func (a *Agent) RunCycle(state hive.QueenState, activity float64, now time.Time)
 		if err != nil {
 			return proto.Result{}, err
 		}
+		if f.Type == proto.TypeReject {
+			// Typed backpressure: the session stays open; surface the
+			// rejection so the caller can back off and retry.
+			a.lastTrace = sc.TraceHex()
+			return proto.Result{}, rejectedError(f)
+		}
 		if f.Type == proto.TypeError {
 			var e proto.ErrorBody
 			_ = f.Unmarshal(proto.TypeError, &e)
@@ -313,6 +363,39 @@ func (a *Agent) RunCycle(state hive.QueenState, activity float64, now time.Time)
 	a.lastResult = &result
 	a.lastTrace = sc.TraceHex()
 	return result, nil
+}
+
+// RunCycleRetry is the well-behaved client loop around RunCycle: on a
+// typed over-capacity rejection it backs off per policy (honoring the
+// server's RetryAfter hint when it is longer) and retries the cycle,
+// up to the policy's attempt budget. Backoff sleeps are real time,
+// scaled by sleepScale so tests and compressed-time replays can shrink
+// them (1.0 = real backoff; 0 sleeps not at all). It returns the
+// result, the number of attempts consumed, and the final error: nil on
+// delivery, the last RejectedError when the budget is exhausted, or
+// any non-reject error immediately.
+func (a *Agent) RunCycleRetry(state hive.QueenState, activity float64, now time.Time,
+	policy faults.RetryPolicy, sleepScale float64) (proto.Result, int, error) {
+	if err := policy.Validate(); err != nil {
+		return proto.Result{}, 0, err
+	}
+	for attempt := 1; ; attempt++ {
+		res, err := a.RunCycle(state, activity, now)
+		if err == nil {
+			return res, attempt, nil
+		}
+		rej, ok := IsRejected(err)
+		if !ok || rej.Code != proto.RejectOverCapacity || attempt >= policy.MaxAttempts {
+			return proto.Result{}, attempt, err
+		}
+		delay := policy.Backoff(attempt, 0.5)
+		if rej.RetryAfter > delay {
+			delay = rej.RetryAfter
+		}
+		if sleepScale > 0 && delay > 0 {
+			time.Sleep(time.Duration(float64(delay) * sleepScale)) //beelint:allow walltime real client backoff against a live server
+		}
+	}
 }
 
 func (a *Agent) expectAck() error {

@@ -18,6 +18,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"beesim/internal/audio"
@@ -30,8 +31,38 @@ import (
 	"beesim/internal/units"
 )
 
+// AdmissionConfig bounds what a server accepts before it starts
+// shedding load. The zero value admits everything (the pre-admission
+// behavior); production fleets should set every bound so a retry storm
+// degrades into typed rejections instead of unbounded queues.
+type AdmissionConfig struct {
+	// MaxSessions caps concurrently connected sessions. A Hello beyond
+	// the cap is answered with a TypeReject (code "server_full") and the
+	// connection is closed. 0 = unlimited.
+	MaxSessions int
+	// MaxInflightUploads caps audio uploads being handled at once
+	// across all sessions. An upload beyond the budget is answered with
+	// a TypeReject (code "over_capacity") and the session stays open so
+	// the client can back off and retry. 0 = unlimited.
+	MaxInflightUploads int
+	// MaxArchiveRecords caps the archive's resident index; beyond it
+	// the oldest records are shed (counted by
+	// hivenet_archive_shed_total). 0 = unbounded.
+	MaxArchiveRecords int
+	// RetryAfter is the backoff hint carried by over-capacity rejects.
+	// 0 sends no hint (clients fall back to their own retry policy).
+	RetryAfter time.Duration
+	// UploadStall injects a real per-upload handling delay — a stress
+	// and test knob that stands in for heavier inference models so a
+	// small fleet can saturate the inflight budget deterministically.
+	UploadStall time.Duration
+}
+
 // ServerConfig shapes the cloud service.
 type ServerConfig struct {
+	// Admission bounds sessions, inflight uploads and archive growth;
+	// the zero value admits everything.
+	Admission AdmissionConfig
 	// MaxParallel is the slot capacity (clients per time slot).
 	MaxParallel int
 	// Slots is the number of time slots per cycle.
@@ -90,6 +121,19 @@ const (
 	// shifted timestamps, so radio attempts and backoff show up here;
 	// its exemplars feed the dashboard's slowest-uploads panel.
 	MetricUploadE2ESeconds = "hivenet_upload_e2e_seconds"
+	// MetricAdmissionRejects counts typed admission rejections (session
+	// cap and inflight-budget 429s). A reject is never counted as a
+	// delivered upload.
+	MetricAdmissionRejects = "hivenet_admission_rejects_total"
+	// MetricArchiveShed counts archive records shed by the
+	// bounded-memory ingestion cap.
+	MetricArchiveShed = "hivenet_archive_shed_total"
+	// MetricInflightUploads gauges uploads being handled right now.
+	MetricInflightUploads = "hivenet_inflight_uploads"
+	// MetricQueueDepth distributes the inflight-upload occupancy seen
+	// by each arriving upload (admitted or rejected) — the server-side
+	// queue-depth signal capacity planning reads.
+	MetricQueueDepth = "hivenet_queue_depth"
 )
 
 // DefaultServerConfig mirrors the paper's Figure-6 setting with a small
@@ -118,10 +162,17 @@ type Server struct {
 	sessions int
 	reports  int
 	uploads  int
+	rejects  int
 	energy   units.Joules // receive+execute bursts above idle
 	closed   bool
 	wg       sync.WaitGroup
 	started  time.Time
+
+	// Admission state: lock-free so the reject fast path costs two
+	// atomic ops under storm load.
+	liveSessions atomic.Int64
+	inflight     atomic.Int64
+	shedSeen     atomic.Int64
 
 	// Observability probes; nil-safe no-ops when cfg.Metrics is nil.
 	mSessions    *obs.Counter
@@ -134,6 +185,10 @@ type Server struct {
 	gClients      *obs.Gauge
 	hUploadHandle *obs.Histogram
 	hUploadE2E    *obs.Histogram
+	mAdmRejects   *obs.Counter
+	mArchiveShed  *obs.Counter
+	gInflight     *obs.Gauge
+	hQueueDepth   *obs.Histogram
 }
 
 // NewServer trains the detection model and binds a listener on addr
@@ -193,6 +248,13 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 
 		hUploadHandle: cfg.Metrics.Histogram(MetricUploadHandleSeconds),
 		hUploadE2E:    cfg.Metrics.Histogram(MetricUploadE2ESeconds),
+		mAdmRejects:   cfg.Metrics.Counter(MetricAdmissionRejects),
+		mArchiveShed:  cfg.Metrics.Counter(MetricArchiveShed),
+		gInflight:     cfg.Metrics.Gauge(MetricInflightUploads),
+		hQueueDepth:   cfg.Metrics.Histogram(MetricQueueDepth),
+	}
+	if cfg.Admission.MaxArchiveRecords > 0 {
+		s.archive.SetCap(cfg.Admission.MaxArchiveRecords)
 	}
 	return s, nil
 }
@@ -274,6 +336,7 @@ func (s *Server) archiveResult(res proto.Result) {
 	}); err != nil {
 		s.logf("archive: %v", err)
 	}
+	s.syncShed()
 }
 
 // Stats is a snapshot of the server's counters.
@@ -281,6 +344,11 @@ type Stats struct {
 	Sessions int
 	Reports  int
 	Uploads  int
+	// Rejects counts typed admission rejections (session cap and
+	// inflight budget). Rejected uploads are never counted in Uploads.
+	Rejects int
+	// ArchiveShed counts records shed by the bounded-memory archive cap.
+	ArchiveShed int
 	// BurstEnergy is the above-idle receive/execute energy modeled for
 	// the traffic served so far.
 	BurstEnergy units.Joules
@@ -290,14 +358,42 @@ type Stats struct {
 
 // Stats returns a snapshot.
 func (s *Server) Stats() Stats {
+	shed := s.archive.Evicted()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
 		Sessions:    s.sessions,
 		Reports:     s.reports,
 		Uploads:     s.uploads,
+		Rejects:     s.rejects,
+		ArchiveShed: shed,
 		BurstEnergy: s.energy,
 		IdleEnergy:  s.cloud.IdlePower.Energy(time.Since(s.started)), //beelint:allow walltime idle baseline of the live grid-powered service; not part of any conservation balance
+	}
+}
+
+// noteReject counts one typed admission rejection.
+func (s *Server) noteReject() {
+	s.mu.Lock()
+	s.rejects++
+	s.mu.Unlock()
+	s.mAdmRejects.Inc()
+}
+
+// syncShed folds newly shed archive records into the shed counter.
+// Called after archive appends; serialized through shedSeen so
+// concurrent sessions never double-count.
+func (s *Server) syncShed() {
+	ev := int64(s.archive.Evicted())
+	for {
+		prev := s.shedSeen.Load()
+		if ev <= prev {
+			return
+		}
+		if s.shedSeen.CompareAndSwap(prev, ev) {
+			s.mArchiveShed.Add(float64(ev - prev))
+			return
+		}
 	}
 }
 
@@ -319,6 +415,22 @@ func (s *Server) handle(conn net.Conn) error {
 	if err := f.Unmarshal(proto.TypeHello, &hello); err != nil {
 		_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
 		return err
+	}
+	// Session admission: a Hello beyond the cap gets a typed reject and
+	// the connection closes. The reject itself is not a session error —
+	// backpressure is the server working as designed — but a failed
+	// reject write is.
+	if maxS := s.cfg.Admission.MaxSessions; maxS > 0 {
+		if s.liveSessions.Add(1) > int64(maxS) {
+			s.liveSessions.Add(-1)
+			s.noteReject()
+			return proto.Encode(conn, proto.TypeReject, proto.RejectBody{
+				Code:        proto.RejectServerFull,
+				Message:     "session cap reached",
+				RetryAfterS: s.cfg.Admission.RetryAfter.Seconds(),
+			}, nil)
+		}
+		defer s.liveSessions.Add(-1)
 	}
 	slot, err := s.assignSlot()
 	if err != nil {
@@ -367,6 +479,7 @@ func (s *Server) handle(conn net.Conn) error {
 			}); err != nil {
 				s.logf("archive: %v", err)
 			}
+			s.syncShed()
 			s.mu.Lock()
 			s.reports++
 			s.mu.Unlock()
@@ -381,60 +494,14 @@ func (s *Server) handle(conn net.Conn) error {
 			if err := f.Unmarshal(proto.TypeAudioUpload, &up); err != nil {
 				return err
 			}
-			samples, err := proto.PCMDecode(f.Raw)
+			admitted, err := s.admitUpload(conn)
 			if err != nil {
-				_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
 				return err
 			}
-			if len(samples) != up.Samples {
-				err := fmt.Errorf("hivenet: declared %d samples, got %d", up.Samples, len(samples))
-				_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
-				return err
+			if !admitted {
+				continue // typed reject sent; the session stays open
 			}
-			queen, confidence, err := s.infer(samples, up.SampleRate)
-			if err != nil {
-				_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
-				return err
-			}
-			// Join the agent's trace: the frame's traceparent names the
-			// upload span, and the handler span becomes its child. A
-			// missing or malformed header degrades to an untraced
-			// handling (never a session error).
-			var srvSC *obs.SpanContext
-			if up.Traceparent != "" {
-				if pc, perr := obs.ParseTraceparent(up.Traceparent); perr == nil {
-					srvSC = pc.Child("server", 0)
-				}
-			}
-			burstD, burstJ := s.accountUpload(up.HiveID, up.Time)
-			if srvSC != nil {
-				s.cfg.Tracer.SpanCtx(srvSC, "server handle upload", "server",
-					obs.TidServer, up.Time, burstD, map[string]any{
-						"hive":   up.HiveID,
-						"queen":  queen,
-						"joules": float64(burstJ),
-					})
-			}
-			s.hUploadHandle.ObserveExemplar(burstD.Seconds(), srvSC)
-			if !lastWake.IsZero() && up.Time.After(lastWake) {
-				s.hUploadE2E.ObserveExemplar(up.Time.Sub(lastWake).Seconds()+burstD.Seconds(), srvSC)
-			} else {
-				s.hUploadE2E.ObserveExemplar(burstD.Seconds(), srvSC)
-			}
-			s.mu.Lock()
-			s.uploads++
-			s.mu.Unlock()
-			s.mUploads.Inc()
-			res := proto.Result{
-				HiveID:       up.HiveID,
-				Time:         up.Time,
-				QueenPresent: queen,
-				Confidence:   confidence,
-				ComputedAt:   "cloud",
-				Traceparent:  srvSC.Traceparent(),
-			}
-			s.archiveResult(res)
-			if err := proto.Encode(conn, proto.TypeResult, res, nil); err != nil {
+			if err := s.handleUpload(conn, f, up, lastWake); err != nil {
 				return err
 			}
 
@@ -463,6 +530,96 @@ func (s *Server) handle(conn net.Conn) error {
 			return err
 		}
 	}
+}
+
+// admitUpload applies the inflight-upload budget. It observes the
+// occupancy every arriving upload sees (the queue-depth signal), then
+// either takes a budget slot (admitted=true; the caller must release it
+// through handleUpload) or writes a typed over-capacity reject
+// (admitted=false). The returned error is a failed reject write — the
+// only way admission itself can fail a session.
+func (s *Server) admitUpload(conn net.Conn) (admitted bool, err error) {
+	s.hQueueDepth.Observe(float64(s.inflight.Load()))
+	if b := s.cfg.Admission.MaxInflightUploads; b > 0 && s.inflight.Add(1) > int64(b) {
+		s.inflight.Add(-1)
+		s.noteReject()
+		return false, proto.Encode(conn, proto.TypeReject, proto.RejectBody{
+			Code:        proto.RejectOverCapacity,
+			Message:     "inflight upload budget exhausted",
+			RetryAfterS: s.cfg.Admission.RetryAfter.Seconds(),
+		}, nil)
+	} else if b <= 0 {
+		s.inflight.Add(1)
+	}
+	s.gInflight.Add(1)
+	return true, nil
+}
+
+// handleUpload runs one admitted audio upload to completion: decode,
+// infer, account, archive, reply. It always releases the inflight
+// budget slot taken by admitUpload.
+func (s *Server) handleUpload(conn net.Conn, f proto.Frame, up proto.AudioUpload, lastWake time.Time) error {
+	defer func() {
+		s.inflight.Add(-1)
+		s.gInflight.Add(-1)
+	}()
+	if stall := s.cfg.Admission.UploadStall; stall > 0 {
+		time.Sleep(stall) //beelint:allow walltime stress/test knob standing in for heavier inference on the live server
+	}
+	samples, err := proto.PCMDecode(f.Raw)
+	if err != nil {
+		_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
+		return err
+	}
+	if len(samples) != up.Samples {
+		err := fmt.Errorf("hivenet: declared %d samples, got %d", up.Samples, len(samples))
+		_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
+		return err
+	}
+	queen, confidence, err := s.infer(samples, up.SampleRate)
+	if err != nil {
+		_ = proto.Encode(conn, proto.TypeError, proto.ErrorBody{Message: err.Error()}, nil)
+		return err
+	}
+	// Join the agent's trace: the frame's traceparent names the
+	// upload span, and the handler span becomes its child. A
+	// missing or malformed header degrades to an untraced
+	// handling (never a session error).
+	var srvSC *obs.SpanContext
+	if up.Traceparent != "" {
+		if pc, perr := obs.ParseTraceparent(up.Traceparent); perr == nil {
+			srvSC = pc.Child("server", 0)
+		}
+	}
+	burstD, burstJ := s.accountUpload(up.HiveID, up.Time)
+	if srvSC != nil {
+		s.cfg.Tracer.SpanCtx(srvSC, "server handle upload", "server",
+			obs.TidServer, up.Time, burstD, map[string]any{
+				"hive":   up.HiveID,
+				"queen":  queen,
+				"joules": float64(burstJ),
+			})
+	}
+	s.hUploadHandle.ObserveExemplar(burstD.Seconds(), srvSC)
+	if !lastWake.IsZero() && up.Time.After(lastWake) {
+		s.hUploadE2E.ObserveExemplar(up.Time.Sub(lastWake).Seconds()+burstD.Seconds(), srvSC)
+	} else {
+		s.hUploadE2E.ObserveExemplar(burstD.Seconds(), srvSC)
+	}
+	s.mu.Lock()
+	s.uploads++
+	s.mu.Unlock()
+	s.mUploads.Inc()
+	res := proto.Result{
+		HiveID:       up.HiveID,
+		Time:         up.Time,
+		QueenPresent: queen,
+		Confidence:   confidence,
+		ComputedAt:   "cloud",
+		Traceparent:  srvSC.Traceparent(),
+	}
+	s.archiveResult(res)
+	return proto.Encode(conn, proto.TypeResult, res, nil)
 }
 
 // assignSlot implements the paper's sequential filling policy over the

@@ -39,6 +39,7 @@ var gostmtExemptPkgs = []string{
 	"internal/parallel",
 	"internal/hivenet",
 	"cmd/hivenet",
+	"cmd/hiveload", // boots in-process server shards (goroutine-per-listener, like cmd/hivenet)
 	"examples/networkedapiary",
 }
 

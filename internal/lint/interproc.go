@@ -238,7 +238,9 @@ func firstCallTo(caller *FuncNode, callee *types.Func) token.Pos {
 // simulator, the deterministic CLIs — must annotate such calls.
 var walltimeInterprocExempt = append([]string{
 	"internal/hivenet",
+	"internal/loadgen", // socket replay against live servers: deadlines and latencies are wall-clock
 	"cmd/hivenet",
+	"cmd/hiveload", // drives loadgen's live replay
 	"examples/networkedapiary",
 }, walltimeExemptPkgs...)
 

@@ -1,0 +1,42 @@
+package loadgen
+
+import "testing"
+
+// BenchmarkLoadgenSchedule measures deriving the full checked-in
+// fleet's open-loop schedule (200 hives x 6 wake-ups plus read
+// traffic) — the pure-function core every planner probe and socket
+// replay starts from.
+func BenchmarkLoadgenSchedule(b *testing.B) {
+	spec, err := LoadFile("../../examples/fleet_small.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if evs := Schedule(spec); len(evs) == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+// BenchmarkSimulateProbe measures one capacity-planner probe over the
+// checked-in fleet at the sized deployment.
+func BenchmarkSimulateProbe(b *testing.B) {
+	spec, err := LoadFile("../../examples/fleet_small.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	evs := Schedule(spec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(spec, evs, SimOptions{Servers: 4, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Offered == 0 {
+			b.Fatal("empty probe")
+		}
+	}
+}

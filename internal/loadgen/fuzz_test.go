@@ -1,0 +1,65 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLoadSpecJSON holds the spec parser to its contract on arbitrary
+// bytes: never panic, and never accept a spec that violates the
+// documented bounds — every field finite, every count in range, every
+// accepted spec schedulable.
+func FuzzLoadSpecJSON(f *testing.F) {
+	f.Add([]byte(validSpecJSON))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","hives":1e9}`))
+	f.Add([]byte(`{"name":"x","seed":1,"hives":2,"wake_period_s":1e18,"horizon_s":1e18,"clip_s":0.25,"phase_spread":0,"shards":1,"server":{}}`))
+	f.Add([]byte(`{"name":"n","seed":3,"hives":3,"wake_period_s":60,"horizon_s":120,"clip_s":0.25,"phase_spread":0.5,"api_reads_per_wake":1.5,"shards":2,"server":{"max_inflight":1},"faults":{"link":{"drop_prob":0.5}}}`))
+	f.Add([]byte(`{"name":"t","seed":1,"hives":4,"wake_period_s":300,"horizon_s":900,"clip_s":0.25,"phase_spread":1,"shards":1,"server":{},"retry":{"max_attempts":2,"base_s":1,"max_s":2,"multiplier":2,"jitter_frac":0.1,"attempt_timeout_s":1}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		// Accepted specs must be inside every documented bound...
+		for _, v := range []float64{
+			spec.WakePeriodS, spec.HorizonS, spec.ClipS, spec.PhaseSpread,
+			spec.ReadsPerWake, spec.Server.ServiceS, spec.Server.StallMS,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite field: %+v", spec)
+			}
+		}
+		if spec.Hives < 1 || spec.Hives > MaxHives {
+			t.Fatalf("accepted hives %d", spec.Hives)
+		}
+		if spec.WakePeriodS <= 0 || spec.HorizonS <= 0 || spec.ClipS < MinClipSeconds {
+			t.Fatalf("accepted degenerate cadence: %+v", spec)
+		}
+		if spec.Server.MaxInflight < 0 || spec.Server.MaxSessions < 0 || spec.Server.MaxArchiveRecords < 0 {
+			t.Fatalf("accepted negative server bound: %+v", spec)
+		}
+		wakes := spec.WakesPerHive()
+		if wakes < 1 {
+			t.Fatalf("accepted unschedulable spec: %+v", spec)
+		}
+		if ev := float64(spec.Hives) * float64(wakes) * (1 + spec.ReadsPerWake); ev > MaxEvents {
+			t.Fatalf("accepted %g-event spec", ev)
+		}
+		// ...and schedulable: derive one hive's events without panic,
+		// in order, inside the horizon.
+		evs := hiveEvents(spec, 0)
+		if len(evs) == 0 {
+			t.Fatalf("accepted spec scheduled nothing: %+v", spec)
+		}
+		for i, ev := range evs {
+			if ev.At < 0 || ev.At >= seconds(spec.HorizonS) {
+				t.Fatalf("event outside horizon: %v", ev)
+			}
+			if i > 0 && evs[i-1].At > ev.At {
+				t.Fatalf("events out of order at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,74 @@
+//go:build soak
+
+// The full soak: the checked-in fleet_small campaign (200 hives, six
+// wake-ups, fault plan with an outage window) replayed twice against
+// live shards, with leak accounting across both rounds. Run with
+// `make soak`; the tier-1 gate runs the short-mode stress instead.
+//
+//beelint:allow walltime live-server soak measures the real stack
+package loadgen
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestSoakFleetSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is never short")
+	}
+	spec, err := LoadFile("../../examples/fleet_small.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := Schedule(spec)
+	servers, addrs, dashes := bootShards(t, spec, spec.Shards)
+
+	goroutinesBefore := runtime.NumGoroutine()
+	fdsBefore := openFDs(t)
+
+	var totalDelivered int
+	for round := 0; round < 2; round++ {
+		res, err := Run(spec, evs, RunOptions{
+			Addrs:      addrs,
+			Dashboards: dashes,
+			SleepScale: 0.01,
+			IOTimeout:  60 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FailedSessions != 0 {
+			t.Fatalf("round %d: %d failed sessions, first: %v", round, res.FailedSessions, res.FirstErr)
+		}
+		if res.Delivered+res.Lost+res.Unattempted != res.Offered {
+			t.Fatalf("round %d: accounting broke: %+v", round, res)
+		}
+		if res.Delivered == 0 {
+			t.Fatalf("round %d: nothing delivered", round)
+		}
+		totalDelivered += res.Delivered
+	}
+
+	uploads := 0
+	for _, s := range servers {
+		uploads += s.Stats().Uploads
+		if cap := spec.Server.MaxArchiveRecords; s.Archive().Len() > cap {
+			t.Fatalf("archive grew to %d past cap %d", s.Archive().Len(), cap)
+		}
+	}
+	if uploads != totalDelivered {
+		t.Fatalf("servers counted %d uploads over both rounds, clients delivered %d", uploads, totalDelivered)
+	}
+
+	if !settle(15*time.Second, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= goroutinesBefore+5
+	}) {
+		t.Fatalf("goroutines leaked: before %d, after %d", goroutinesBefore, runtime.NumGoroutine())
+	}
+	if !settle(15*time.Second, func() bool { return openFDs(t) <= fdsBefore+5 }) {
+		t.Fatalf("fds leaked: before %d, after %d", fdsBefore, openFDs(t))
+	}
+}

@@ -59,6 +59,12 @@ const (
 	TypeError
 	// TypeBye closes a session gracefully.
 	TypeBye
+	// TypeReject is the server's typed 429-style backpressure answer:
+	// the request was well-formed but admission control refused it (over
+	// the inflight budget, session cap reached). Unlike TypeError the
+	// session stays open; the body is a RejectBody telling the client
+	// why and how long to back off before retrying.
+	TypeReject
 )
 
 // String names the message type.
@@ -80,6 +86,8 @@ func (t Type) String() string {
 		return "error"
 	case TypeBye:
 		return "bye"
+	case TypeReject:
+		return "reject"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -147,6 +155,25 @@ type Result struct {
 // ErrorBody carries a failure description.
 type ErrorBody struct {
 	Message string `json:"message"`
+}
+
+// Reject codes carried by a RejectBody.
+const (
+	// RejectOverCapacity: the server's inflight upload budget is
+	// exhausted; retry the upload after backing off.
+	RejectOverCapacity = "over_capacity"
+	// RejectServerFull: the server's session cap is reached; the
+	// connection is closed after this frame.
+	RejectServerFull = "server_full"
+)
+
+// RejectBody is the payload of a TypeReject frame: a machine-readable
+// code, a human-readable message, and a backoff hint in seconds (zero
+// means "use your own policy").
+type RejectBody struct {
+	Code        string  `json:"code"`
+	Message     string  `json:"message,omitempty"`
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
 }
 
 // Frame is one decoded protocol frame.

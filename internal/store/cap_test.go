@@ -1,0 +1,117 @@
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCapShedsOldestOnAppend verifies the arrival-ordered shed path:
+// once the cap is armed, every over-cap append evicts the
+// oldest-arrival record and the eviction counter tracks exactly.
+func TestCapShedsOldestOnAppend(t *testing.T) {
+	s := OpenMemory()
+	s.SetCap(3)
+	for i := 0; i < 5; i++ {
+		if err := s.Append(sensorRec("h1", time.Duration(i)*time.Minute, 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want cap 3", s.Len())
+	}
+	if s.Evicted() != 2 {
+		t.Fatalf("evicted = %d, want 2", s.Evicted())
+	}
+	// The survivors are the three freshest records: minutes 2, 3, 4.
+	recs, err := s.Query("h1", t0.Add(-time.Hour), t0.Add(time.Hour), KindSensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || !recs[0].Time.Equal(t0.Add(2*time.Minute)) {
+		t.Fatalf("wrong survivors: %+v", recs)
+	}
+}
+
+// TestSetCapAppliesToExistingRecords verifies the retroactive path:
+// arming a cap below the current size sheds immediately, in
+// deterministic (time, hive) order.
+func TestSetCapAppliesToExistingRecords(t *testing.T) {
+	s := OpenMemory()
+	// Interleave hives and times; include a timestamp tie so the hive-id
+	// tiebreak is exercised: at +1m both hB and hA hold a record, and hA
+	// must shed first.
+	for _, r := range []Record{
+		sensorRec("hB", 1*time.Minute, 30),
+		sensorRec("hA", 3*time.Minute, 30),
+		sensorRec("hA", 1*time.Minute, 30),
+		sensorRec("hC", 2*time.Minute, 30),
+	} {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetCap(2)
+	if s.Len() != 2 || s.Evicted() != 2 {
+		t.Fatalf("len=%d evicted=%d, want 2 and 2", s.Len(), s.Evicted())
+	}
+	// Shed order: (+1m, hA) then (+1m, hB). Survivors: hC@+2m, hA@+3m.
+	if _, ok := s.Latest("hB", KindSensor); ok {
+		t.Fatal("hB survived; the (time, hive) shed order broke")
+	}
+	if rec, ok := s.Latest("hA", KindSensor); !ok || !rec.Time.Equal(t0.Add(3*time.Minute)) {
+		t.Fatalf("hA@+3m should survive, got %+v (ok=%v)", rec, ok)
+	}
+	if _, ok := s.Latest("hC", KindSensor); !ok {
+		t.Fatal("hC@+2m should survive")
+	}
+}
+
+// TestSetCapClearedStopsShedding verifies n <= 0 removes the bound:
+// the store grows freely again, and the historical eviction count is
+// retained rather than reset.
+func TestSetCapClearedStopsShedding(t *testing.T) {
+	s := OpenMemory()
+	s.SetCap(1)
+	for i := 0; i < 3; i++ {
+		if err := s.Append(sensorRec("h1", time.Duration(i)*time.Minute, 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 1 || s.Evicted() != 2 {
+		t.Fatalf("len=%d evicted=%d before clearing, want 1 and 2", s.Len(), s.Evicted())
+	}
+	s.SetCap(0)
+	for i := 3; i < 7; i++ {
+		if err := s.Append(sensorRec("h1", time.Duration(i)*time.Minute, 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 5 {
+		t.Fatalf("len = %d after clearing cap, want 5", s.Len())
+	}
+	if s.Evicted() != 2 {
+		t.Fatalf("evicted = %d, the historical count must survive clearing", s.Evicted())
+	}
+}
+
+// TestCapIsPerRecordNotPerHive verifies the cap bounds the whole
+// store: a burst from one hive can shed another hive's older records,
+// which is exactly the shed-oldest semantics the server relies on.
+func TestCapIsPerRecordNotPerHive(t *testing.T) {
+	s := OpenMemory()
+	s.SetCap(3)
+	if err := s.Append(sensorRec("old", 0, 30)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := s.Append(sensorRec("busy", time.Duration(i)*time.Minute, 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Latest("old", KindSensor); ok {
+		t.Fatal("quiet hive's record survived a cap-sized burst from another hive")
+	}
+	if s.Len() != 3 || s.Evicted() != 1 {
+		t.Fatalf("len=%d evicted=%d, want 3 and 1", s.Len(), s.Evicted())
+	}
+}

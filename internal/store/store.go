@@ -77,6 +77,15 @@ type Store struct {
 	f     *os.File // nil for memory stores
 	index map[string][]Record
 	count int
+
+	// cap bounds the resident index (0 = unbounded). When an append
+	// would exceed it, the oldest indexed record is shed first — the
+	// bounded-memory ingestion policy a saturated server needs. The
+	// on-disk log (file-backed stores) keeps every record; only the
+	// queryable in-memory index is capped.
+	cap     int
+	arrival []string // hive of each indexed record, oldest first
+	evicted int
 }
 
 // OpenMemory creates an in-memory store.
@@ -147,7 +156,85 @@ func (s *Store) Append(rec Record) error {
 		return err
 	}
 	s.insert(rec)
+	if s.cap > 0 {
+		s.arrival = append(s.arrival, rec.Hive)
+		for s.count > s.cap {
+			s.evictOldest()
+		}
+	}
 	return nil
+}
+
+// SetCap bounds the in-memory index to at most n records (n <= 0
+// removes the bound). When the cap is exceeded the store sheds records
+// oldest-arrival-first, so a saturated server's memory stays bounded
+// while the freshest data remains queryable. Records already indexed
+// count against the cap immediately, in (time, hive) order.
+func (s *Store) SetCap(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		s.cap = 0
+		s.arrival = nil
+		return
+	}
+	s.cap = n
+	// Rebuild the arrival order for records indexed before the cap was
+	// armed: oldest timestamp first, ties broken by hive id, so the
+	// shed order is deterministic.
+	type stamped struct {
+		t    time.Time
+		hive string
+	}
+	all := make([]stamped, 0, s.count)
+	for hive, rs := range s.index {
+		for _, r := range rs {
+			all = append(all, stamped{r.Time, hive})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].t.Equal(all[j].t) {
+			return all[i].t.Before(all[j].t)
+		}
+		return all[i].hive < all[j].hive
+	})
+	s.arrival = make([]string, len(all))
+	for i, a := range all {
+		s.arrival[i] = a.hive
+	}
+	for s.count > s.cap {
+		s.evictOldest()
+	}
+}
+
+// evictOldest drops the oldest-arrival indexed record. Within that
+// record's hive the time-ordered slice sheds its head — the hive's
+// oldest record — so queries lose history from the far end first.
+// Callers hold s.mu.
+func (s *Store) evictOldest() {
+	if len(s.arrival) == 0 {
+		return
+	}
+	hive := s.arrival[0]
+	s.arrival = s.arrival[1:]
+	rs := s.index[hive]
+	if len(rs) == 0 {
+		return
+	}
+	copy(rs, rs[1:])
+	s.index[hive] = rs[:len(rs)-1]
+	if len(rs) == 1 {
+		delete(s.index, hive)
+	}
+	s.count--
+	s.evicted++
+}
+
+// Evicted returns the total number of records shed by the cap so far.
+func (s *Store) Evicted() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.evicted
 }
 
 // insert adds to the index keeping each hive's slice time-ordered.
